@@ -1,0 +1,247 @@
+// Command dstune runs one tuned data transfer and prints the
+// per-epoch trace: either on the simulated WAN testbeds or against a
+// real gridftpd server over TCP sockets.
+//
+// Simulated (virtual time, deterministic):
+//
+//	dstune -tuner nm-tuner -testbed uchicago -duration 1800 -cmp 16
+//	dstune -tuner cs-tuner -testbed tacc -two \
+//	       -tfr 64 -cmp 16 -step-at 1000 -tfr2 16 -cmp2 16
+//
+// Real sockets (wall-clock time; start cmd/gridftpd first):
+//
+//	dstune -mode socket -addr 127.0.0.1:7632 -tuner cs-tuner \
+//	       -epoch 0.25 -duration 15 -shape-rate 8e6 -shape-quad 0.028
+//
+// The tuner is one of: default, cd-tuner, cs-tuner, nm-tuner, heur1,
+// heur2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dstune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dstune: ")
+
+	mode := flag.String("mode", "sim", "sim or socket")
+	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2")
+	duration := flag.Float64("duration", 1800, "transfer budget in seconds (virtual in sim mode, wall-clock in socket mode)")
+	epoch := flag.Float64("epoch", 0, "control epoch seconds (default 30 sim, 0.25 socket)")
+	tolerance := flag.Float64("tolerance", 0, "significance threshold percent (default 5 sim, 30 socket)")
+	two := flag.Bool("two", false, "tune parallelism as well as concurrency")
+	np := flag.Int("np", 8, "fixed parallelism when not tuning it")
+	maxNC := flag.Int("max-nc", 128, "concurrency upper bound")
+	maxNP := flag.Int("max-np", 16, "parallelism upper bound")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "write the trace series to this CSV file")
+
+	// Simulation-mode flags.
+	testbed := flag.String("testbed", "uchicago", "uchicago or tacc")
+	tfr := flag.Int("tfr", 0, "external transfer streams at the source")
+	cmp := flag.Int("cmp", 0, "external compute jobs at the source")
+	stepAt := flag.Float64("step-at", 0, "if > 0, switch external load at this time")
+	tfr2 := flag.Int("tfr2", 0, "external transfer streams after -step-at")
+	cmp2 := flag.Int("cmp2", 0, "external compute jobs after -step-at")
+
+	// Socket-mode flags.
+	addr := flag.String("addr", "127.0.0.1:7632", "gridftpd address (socket mode)")
+	bytes := flag.Float64("bytes", 0, "bytes to transfer; 0 = unbounded (socket mode)")
+	shapeRate := flag.Float64("shape-rate", 0, "shaper per-connection rate in bytes/s; 0 = unshaped")
+	shapeQuad := flag.Float64("shape-quad", 0, "shaper contention coefficient")
+
+	// Disk-mode flags.
+	files := flag.Int("files", 8000, "file count (disk mode)")
+	fileSize := flag.Float64("file-size", 1<<20, "file size in bytes, or lognormal median with -lognormal (disk mode)")
+	lognormal := flag.Bool("lognormal", false, "log-normal file sizes instead of uniform (disk mode)")
+	diskRate := flag.Float64("disk-rate", 2e9, "source storage bandwidth in bytes/s (disk mode)")
+	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
+	flag.Parse()
+
+	var transfer dstune.Transferer
+	var err error
+	disk := false
+	switch *mode {
+	case "sim":
+		if *epoch == 0 {
+			*epoch = 30
+		}
+		transfer, err = simTransfer(*testbed, *name, *seed,
+			dstune.Load{Tfr: *tfr, Cmp: *cmp}, *stepAt, dstune.Load{Tfr: *tfr2, Cmp: *cmp2}, nil, 0, 0)
+	case "disk":
+		if *epoch == 0 {
+			*epoch = 30
+		}
+		disk = true
+		var d dstune.Dataset
+		if *lognormal {
+			d = dstune.LogNormalDataset(*files, *fileSize, 1.5, *seed)
+		} else {
+			d = dstune.UniformDataset(*files, int64(*fileSize))
+		}
+		fmt.Printf("dataset: %s\n", d)
+		transfer, err = simTransfer(*testbed, *name, *seed,
+			dstune.Load{Tfr: *tfr, Cmp: *cmp}, *stepAt, dstune.Load{Tfr: *tfr2, Cmp: *cmp2},
+			&d, *diskRate, *fileOverhead)
+	case "socket":
+		if *epoch == 0 {
+			*epoch = 0.25
+		}
+		if *tolerance == 0 {
+			*tolerance = 30
+		}
+		size := *bytes
+		if size <= 0 {
+			size = dstune.Unbounded
+		}
+		var shaper *dstune.Shaper
+		if *shapeRate > 0 {
+			shaper = &dstune.Shaper{Rate: *shapeRate, Quad: *shapeQuad}
+		}
+		transfer, err = dstune.NewTransferClient(dstune.TransferClientConfig{
+			Addr: *addr, Bytes: size, Shaper: shaper,
+		})
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := dstune.TunerConfig{
+		Epoch:     *epoch,
+		Tolerance: *tolerance,
+		Budget:    *duration,
+		Seed:      *seed,
+	}
+	switch {
+	case disk:
+		cfg.Box = dstune.MustBox([]int{1, 1, 1}, []int{*maxNC, *maxNP, 32})
+		cfg.Start = []int{2, 8, 4}
+		cfg.Map = dstune.MapNCNPPP()
+	case *two:
+		cfg.Box = dstune.MustBox([]int{1, 1}, []int{*maxNC, *maxNP})
+		cfg.Start = []int{2, 8}
+		cfg.Map = dstune.MapNCNP()
+	default:
+		cfg.Box = dstune.MustBox([]int{1}, []int{*maxNC})
+		cfg.Start = []int{2}
+		cfg.Map = dstune.MapNC(*np)
+	}
+	tn, err := makeTuner(*name, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace, err := tn.Tune(transfer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTrace(trace)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+// simTransfer builds a simulated transfer on the named testbed;
+// files selects disk-to-disk mode.
+func simTransfer(testbed, tuner string, seed uint64, l dstune.Load, stepAt float64, after dstune.Load, files *dstune.Dataset, diskRate, fileOverhead float64) (dstune.Transferer, error) {
+	var tb dstune.Testbed
+	switch testbed {
+	case "uchicago":
+		tb = dstune.ANLtoUChicago()
+	case "tacc":
+		tb = dstune.ANLtoTACC()
+	default:
+		return nil, fmt.Errorf("unknown testbed %q (want uchicago or tacc)", testbed)
+	}
+	fabric, _, err := tb.NewFabric(seed)
+	if err != nil {
+		return nil, err
+	}
+	sched := dstune.ConstantLoad(l)
+	if stepAt > 0 {
+		sched = dstune.StepLoad(stepAt, l, after)
+	}
+	fabric.SetLoad(sched, nil)
+	policy := dstune.RestartEveryEpoch
+	if tuner == "default" {
+		policy = dstune.RestartOnChange
+	}
+	tc := dstune.TransferConfig{Name: tuner, Bytes: dstune.Unbounded, Policy: policy}
+	if files != nil {
+		tc.Bytes = 0
+		tc.Files = *files
+		tc.DiskRate = diskRate
+		tc.FileOverhead = fileOverhead
+	}
+	return fabric.NewTransfer(tc)
+}
+
+// makeTuner builds the named tuner.
+func makeTuner(name string, cfg dstune.TunerConfig) (dstune.Tuner, error) {
+	switch name {
+	case "default":
+		return dstune.NewStatic(cfg), nil
+	case "cd-tuner":
+		return dstune.NewCD(cfg), nil
+	case "cs-tuner":
+		return dstune.NewCS(cfg), nil
+	case "nm-tuner":
+		return dstune.NewNM(cfg), nil
+	case "heur1":
+		return dstune.NewHeur1(cfg), nil
+	case "heur2":
+		return dstune.NewHeur2(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown tuner %q", name)
+}
+
+// printTrace renders the per-epoch table and the summary lines.
+func printTrace(tr *dstune.Trace) {
+	if len(tr.Results) == 0 {
+		fmt.Println("no epochs ran")
+		return
+	}
+	dims := len(tr.Results[0].X)
+	headers := []string{"nc", "nc   np", "nc   np   pp"}
+	fmt.Printf("epoch    t(s)    %s   MB/s    best-case\n", headers[min(dims, 3)-1])
+	for _, r := range tr.Results {
+		fmt.Printf("%5d  %6.1f  ", r.Epoch, r.Report.End)
+		for _, v := range r.X {
+			fmt.Printf("%4d ", v)
+		}
+		fmt.Printf(" %8.1f  %8.1f\n", r.Report.Throughput/1e6, r.Report.BestCase/1e6)
+	}
+	obs, best := tr.MeanThroughput(), tr.MeanBestCase()
+	fmt.Printf("\n%s: mean %.1f MB/s, best-case %.1f MB/s", tr.Tuner, obs/1e6, best/1e6)
+	if best > 0 {
+		fmt.Printf(", restart overhead %.1f%%", 100*(1-obs/best))
+	}
+	fmt.Printf(", final x=%v\n", tr.FinalX())
+}
+
+// writeCSV dumps the trace's series to path.
+func writeCSV(path string, tr *dstune.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	series := []*dstune.Series{tr.Throughput(), tr.BestCase()}
+	if x := tr.FinalX(); x != nil {
+		for d := range x {
+			series = append(series, tr.Param(d))
+		}
+	}
+	return dstune.WriteSeriesCSV(f, series...)
+}

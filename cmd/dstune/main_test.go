@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dstune"
+)
+
+func TestMakeTunerAllNames(t *testing.T) {
+	cfg := dstune.TunerConfig{
+		Box:   dstune.MustBox([]int{1}, []int{64}),
+		Start: []int{2},
+		Map:   dstune.MapNC(8),
+	}
+	for _, name := range []string{"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2"} {
+		tn, err := makeTuner(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tn.Name() != name {
+			t.Fatalf("name mismatch %q vs %q", tn.Name(), name)
+		}
+	}
+	if _, err := makeTuner("bogus", cfg); err == nil {
+		t.Fatal("unknown tuner accepted")
+	}
+}
+
+func TestSimTransferUnknownTestbed(t *testing.T) {
+	if _, err := simTransfer("mars", "default", 1, dstune.Load{}, 0, dstune.Load{}, nil, 0, 0); err == nil {
+		t.Fatal("unknown testbed accepted")
+	}
+}
+
+func TestSimTransferDiskMode(t *testing.T) {
+	d := dstune.UniformDataset(4, 1<<20)
+	tr, err := simTransfer("uchicago", "nm-tuner", 1, dstune.Load{}, 0, dstune.Load{}, &d, 1e9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Stop()
+	if tr.Remaining() != float64(4<<20) {
+		t.Fatalf("Remaining = %v, want dataset size", tr.Remaining())
+	}
+}
+
+func TestSimTransferStepSchedule(t *testing.T) {
+	tr, err := simTransfer("tacc", "cs-tuner", 2, dstune.Load{Cmp: 16}, 100, dstune.Load{}, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Stop()
+}
+
+func TestPrintTraceEmpty(t *testing.T) {
+	// Must not panic on an empty trace.
+	printTrace(&dstune.Trace{})
+}
+
+func TestWriteCSVHelper(t *testing.T) {
+	dir := t.TempDir()
+	tr := &dstune.Trace{Tuner: "x"}
+	path := dir + "/out.csv"
+	if err := writeCSV(path, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageStringsConsistent(t *testing.T) {
+	// The documented tuner list matches what makeTuner accepts.
+	for _, name := range strings.Split("default,cd-tuner,cs-tuner,nm-tuner,heur1,heur2", ",") {
+		if _, err := makeTuner(name, dstune.TunerConfig{
+			Box: dstune.MustBox([]int{1}, []int{8}), Start: []int{1}, Map: dstune.MapNC(1),
+		}); err != nil {
+			t.Fatalf("documented tuner %q rejected: %v", name, err)
+		}
+	}
+}

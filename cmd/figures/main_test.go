@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"dstune"
+)
+
+func TestMBSeries(t *testing.T) {
+	s := &dstune.Series{Name: "x"}
+	s.Add(0, 2e9)
+	s.Add(30, 3e9)
+	out := mbSeries("x", s)
+	if len(out.X) != 2 || out.Y[0] != 2000 || out.Y[1] != 3000 {
+		t.Fatalf("mbSeries = %+v", out)
+	}
+}
+
+func TestRawSeries(t *testing.T) {
+	s := &dstune.Series{Name: "nc"}
+	s.Add(0, 2)
+	s.Add(30, 8)
+	out := rawSeries("nc", s)
+	if out.Y[1] != 8 {
+		t.Fatalf("rawSeries = %+v", out)
+	}
+}
+
+func TestQuickRCDurations(t *testing.T) {
+	g := &gen{quick: true}
+	if g.rc().Duration != 600 {
+		t.Fatalf("quick duration = %v", g.rc().Duration)
+	}
+	g.quick = false
+	if g.rc().Duration != 1800 {
+		t.Fatalf("full duration = %v", g.rc().Duration)
+	}
+}
+
+func TestHTMLReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick experiment suite")
+	}
+	g := &gen{seed: 1, quick: true}
+	path := t.TempDir() + "/report.html"
+	if err := g.html(path); err != nil {
+		t.Fatal(err)
+	}
+	// The report must contain the paper figures and end cleanly.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := string(raw)
+	for _, want := range []string{"Figure 1", "Figure 5", "Figure 10", "</html>"} {
+		if !strings.Contains(data, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Command gridftpd runs the striped memory-to-memory transfer server:
+// the receiving end for cmd/dstune's socket mode and for any
+// dstune.TransferClient. Received data is discarded and counted per
+// transfer token (the /dev/null end of the paper's setup).
+//
+// Usage:
+//
+//	gridftpd [-addr :7632] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dstune"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("gridftpd: ")
+	addr := flag.String("addr", ":7632", "listen address")
+	verbose := flag.Bool("v", false, "log connection errors")
+	flag.Parse()
+
+	srv, err := dstune.ServeGridFTP(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		srv.SetLogger(log.Printf)
+	}
+	log.Printf("listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

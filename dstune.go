@@ -1,0 +1,475 @@
+// Package dstune improves data transfer throughput with direct search
+// optimization, reproducing Balaprakash et al., "Improving Data
+// Transfer Throughput with Direct Search Optimization" (ICPP 2016).
+//
+// The library tunes the number of parallel TCP streams of a GridFTP-
+// style transfer — concurrency (processes) times parallelism (streams
+// per process) — online, one control epoch at a time, using three
+// direct search methods: coordinate descent (cd-tuner), compass search
+// (cs-tuner), and Nelder–Mead (nm-tuner), plus two baseline heuristics
+// from the literature (heur1, heur2) and the static Globus default.
+//
+// Transfers are driven through the Transferer interface, with two
+// implementations:
+//
+//   - a deterministic simulated testbed (NewFabric / Testbed presets)
+//     reproducing the paper's WAN endpoints, including TCP congestion
+//     control dynamics, endpoint CPU contention, external load, and
+//     process-restart overhead; and
+//   - a real-socket striped transfer client/server (ServeGridFTP /
+//     NewTransferClient) for memory-to-memory runs over actual TCP.
+//
+// Quickstart (simulated):
+//
+//	tb := dstune.ANLtoUChicago()
+//	fabric, _, err := tb.NewFabric(42)
+//	// handle err
+//	fabric.SetLoad(dstune.ConstantLoad(dstune.Load{Cmp: 16}), nil)
+//	tr, err := fabric.NewTransfer(dstune.TransferConfig{
+//		Name: "demo", Bytes: dstune.Unbounded,
+//	})
+//	// handle err
+//	cfg := dstune.TunerConfig{
+//		Box:    dstune.MustBox([]int{1}, []int{128}),
+//		Start:  []int{2},
+//		Map:    dstune.MapNC(8),
+//		Budget: 1800,
+//	}
+//	trace, err := dstune.NewNM(cfg).Tune(tr)
+//	// trace.MeanThroughput(), trace.Param(0), ...
+//
+// The experiment harnesses that regenerate every figure of the paper
+// live behind Fig1, TuneConcurrency, TuneBoth, CompareHeuristics, and
+// Simultaneous; cmd/figures prints them and EXPERIMENTS.md records
+// paper-vs-measured values.
+package dstune
+
+import (
+	"io"
+
+	"dstune/internal/dataset"
+	"dstune/internal/directsearch"
+	"dstune/internal/endpoint"
+	"dstune/internal/experiment"
+	"dstune/internal/gridftp"
+	"dstune/internal/load"
+	"dstune/internal/netem"
+	"dstune/internal/report"
+	"dstune/internal/sim"
+	"dstune/internal/trace"
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// Time series produced by traces.
+type (
+	// Series is a named time series of (t, v) samples.
+	Series = trace.Series
+	// SeriesPoint is one sample of a Series.
+	SeriesPoint = trace.Point
+)
+
+// WriteSeriesCSV writes series in long format (series,t,v).
+func WriteSeriesCSV(w io.Writer, series ...*Series) error {
+	return trace.WriteCSV(w, series...)
+}
+
+// WriteSeriesJSON writes series as a JSON array.
+func WriteSeriesJSON(w io.Writer, series ...*Series) error {
+	return trace.WriteJSON(w, series...)
+}
+
+// Sparkline renders a series as a fixed-width ASCII sparkline.
+func Sparkline(s *Series, width int) string { return trace.Sparkline(s, width) }
+
+// HTML reporting.
+type (
+	// HTMLReport assembles charts, tiles, and tables into one
+	// self-contained HTML page with SVG charts (hover tooltips,
+	// legends, table views, light/dark).
+	HTMLReport = report.Report
+	// ReportLineChart is a multi-series line chart section.
+	ReportLineChart = report.LineChart
+	// ReportLineSeries is one series of a ReportLineChart.
+	ReportLineSeries = report.LineSeries
+	// ReportBarChart is a grouped column chart section.
+	ReportBarChart = report.BarChart
+	// ReportBarGroup is one category of a ReportBarChart.
+	ReportBarGroup = report.BarGroup
+	// ReportTile is one stat tile of a KPI row.
+	ReportTile = report.Tile
+)
+
+// NewHTMLReport returns an empty HTML report page.
+func NewHTMLReport(title, subtitle string) *HTMLReport { return report.New(title, subtitle) }
+
+// Transfer parameters and reports.
+type (
+	// Params are the tunable transfer parameters: concurrency (NC)
+	// and parallelism (NP).
+	Params = xfer.Params
+	// Report describes one control epoch of a transfer.
+	Report = xfer.Report
+	// Transferer runs a transfer one control epoch at a time; it is
+	// the black box the tuners optimize.
+	Transferer = xfer.Transferer
+	// RestartPolicy controls when a simulated transfer pays process
+	// restart dead time.
+	RestartPolicy = xfer.RestartPolicy
+)
+
+// Restart policies.
+const (
+	// RestartEveryEpoch restarts processes on every Run, as the
+	// paper's tuner wrappers do.
+	RestartEveryEpoch = xfer.RestartEveryEpoch
+	// RestartOnChange restarts only when parameters change — the
+	// paper's "ideal scenario".
+	RestartOnChange = xfer.RestartOnChange
+)
+
+// Unbounded is the transfer size for open-ended runs.
+var Unbounded = xfer.Unbounded
+
+// DefaultParams returns the Globus service default for large files:
+// concurrency 2, parallelism 8.
+func DefaultParams() Params { return xfer.Default() }
+
+// Simulated fabric.
+type (
+	// Fabric is a simulated testbed: one source endpoint, network
+	// paths, external load, and any number of lockstep transfers.
+	Fabric = xfer.Fabric
+	// FabricConfig configures a Fabric.
+	FabricConfig = xfer.FabricConfig
+	// TransferConfig describes one transfer on a Fabric.
+	TransferConfig = xfer.TransferConfig
+	// SimTransfer is a simulated transfer; it implements Transferer.
+	SimTransfer = xfer.Sim
+	// HostConfig describes a source endpoint (cores, pump rate,
+	// scheduler behaviour, restart cost, NIC).
+	HostConfig = endpoint.Config
+	// PathConfig describes a WAN path (capacity, RTT, loss, buffer).
+	PathConfig = netem.Config
+	// Path is a network path attached to a Fabric.
+	Path = netem.Path
+)
+
+// NewFabric builds a simulation fabric; add paths with AddPath before
+// creating transfers.
+func NewFabric(cfg FabricConfig) (*Fabric, error) { return xfer.NewFabric(cfg) }
+
+// External load.
+type (
+	// Load is the external load at one instant: Tfr competing
+	// transfer streams and Cmp compute jobs at the source.
+	Load = load.Load
+	// LoadSchedule yields the external load at any virtual time.
+	LoadSchedule = load.Schedule
+	// LoadSegment is one piece of a piecewise-constant schedule.
+	LoadSegment = load.Segment
+)
+
+// ConstantLoad returns a time-invariant schedule.
+func ConstantLoad(l Load) LoadSchedule { return load.Constant(l) }
+
+// NoLoad returns the empty schedule.
+func NoLoad() LoadSchedule { return load.None() }
+
+// StepLoad switches from before to after at time at.
+func StepLoad(at float64, before, after Load) LoadSchedule { return load.Step(at, before, after) }
+
+// PiecewiseLoad builds a piecewise-constant schedule.
+func PiecewiseLoad(segs ...LoadSegment) LoadSchedule { return load.Piecewise(segs...) }
+
+// SquareLoad alternates between a and b every period seconds (a
+// first) — bursty background conditions.
+func SquareLoad(period float64, a, b Load) LoadSchedule { return load.Square(period, a, b) }
+
+// Tuners.
+type (
+	// Tuner adapts a transfer's parameters over its lifetime.
+	Tuner = tuner.Tuner
+	// TunerConfig parameterizes a tuner (epoch, tolerance, bounds,
+	// starting point, budget).
+	TunerConfig = tuner.Config
+	// ParamMap converts a tuned integer vector to transfer
+	// parameters.
+	ParamMap = tuner.ParamMap
+	// Trace is the per-epoch record of one tuned transfer.
+	Trace = tuner.Trace
+	// EpochResult is one control epoch within a Trace.
+	EpochResult = tuner.EpochResult
+	// RestartFrom selects the inner-search restart point of cs-tuner
+	// and nm-tuner.
+	RestartFrom = tuner.RestartFrom
+)
+
+// Inner-search restart points.
+const (
+	// FromOrigin restarts from x0, as in the paper's pseudocode.
+	FromOrigin = tuner.FromOrigin
+	// FromCurrent restarts from the current incumbent.
+	FromCurrent = tuner.FromCurrent
+)
+
+// MapNC tunes concurrency only, with parallelism fixed at np.
+func MapNC(np int) ParamMap { return tuner.MapNC(np) }
+
+// MapNCNP tunes concurrency and parallelism simultaneously.
+func MapNCNP() ParamMap { return tuner.MapNCNP() }
+
+// NewCD returns the coordinate-descent tuner (Algorithm 1).
+func NewCD(cfg TunerConfig) Tuner { return tuner.NewCD(cfg) }
+
+// NewCS returns the compass-search tuner (Algorithm 2).
+func NewCS(cfg TunerConfig) Tuner { return tuner.NewCS(cfg) }
+
+// NewNM returns the Nelder–Mead tuner (Algorithm 3).
+func NewNM(cfg TunerConfig) Tuner { return tuner.NewNM(cfg) }
+
+// NewHeur1 returns Balman's additive-increase heuristic baseline.
+func NewHeur1(cfg TunerConfig) Tuner { return tuner.NewHeur1(cfg) }
+
+// NewHeur2 returns Yildirim's exponential-increase heuristic baseline.
+func NewHeur2(cfg TunerConfig) Tuner { return tuner.NewHeur2(cfg) }
+
+// NewModel returns the empirical model-fitting baseline from the
+// paper's related work (Yildirim/Yin): sample, fit the
+// parallel-stream throughput curve, jump to its optimum.
+func NewModel(cfg TunerConfig) Tuner { return tuner.NewModel(cfg) }
+
+// NewStatic returns the non-adaptive baseline (the paper's `default`).
+func NewStatic(cfg TunerConfig) Tuner { return tuner.NewStatic(cfg) }
+
+// Direct search (usable standalone for offline optimization).
+type (
+	// Box is a bounded integer search domain; its Clamp method is
+	// the paper's fBnd.
+	Box = directsearch.Box
+	// Searcher is the ask/tell optimizer interface.
+	Searcher = directsearch.Searcher
+)
+
+// MustBox builds a Box from bounds, panicking on invalid input.
+func MustBox(lo, hi []int) Box { return directsearch.MustBox(lo, hi) }
+
+// NewBox builds a Box from bounds.
+func NewBox(lo, hi []int) (Box, error) { return directsearch.NewBox(lo, hi) }
+
+// MaximizeSearch drives a Searcher against an objective function.
+func MaximizeSearch(s Searcher, f func([]int) float64, maxEvals int) ([]int, float64) {
+	return directsearch.Maximize(s, f, maxEvals)
+}
+
+// NewCompassSearch returns a standalone compass search over box
+// starting at start, with initial step lambda (0 selects 8) and a
+// seeded polling order.
+func NewCompassSearch(start []int, box Box, lambda float64, seed uint64) Searcher {
+	return directsearch.NewCompass(start, box, directsearch.CompassConfig{Lambda: lambda}, sim.NewRNG(seed))
+}
+
+// NewNelderMeadSearch returns a standalone Nelder–Mead search over box
+// starting at start, with the customary coefficients.
+func NewNelderMeadSearch(start []int, box Box) Searcher {
+	return directsearch.NewNelderMead(start, box, directsearch.NMConfig{})
+}
+
+// NewCoordSearch returns a standalone coordinate-descent search over
+// box starting at start.
+func NewCoordSearch(start []int, box Box) Searcher {
+	return directsearch.NewCoord(start, box, directsearch.CoordConfig{})
+}
+
+// Real-socket transfers.
+type (
+	// GridFTPServer is the receiving end of the striped memory-to-
+	// memory protocol.
+	GridFTPServer = gridftp.Server
+	// TransferClient is the striped sender; it implements
+	// Transferer against wall-clock time.
+	TransferClient = gridftp.Client
+	// TransferClientConfig configures a TransferClient.
+	TransferClientConfig = gridftp.ClientConfig
+	// Shaper emulates endpoint contention on fast links so the
+	// tuners have an interior optimum to find.
+	Shaper = gridftp.Shaper
+)
+
+// ServeGridFTP starts a transfer server on addr (e.g. "127.0.0.1:0").
+func ServeGridFTP(addr string) (*GridFTPServer, error) { return gridftp.Serve(addr) }
+
+// NewTransferClient returns a real-socket transfer client.
+func NewTransferClient(cfg TransferClientConfig) (*TransferClient, error) {
+	return gridftp.NewClient(cfg)
+}
+
+// Experiments (the paper's evaluation).
+type (
+	// Testbed is a named source endpoint and WAN path preset.
+	Testbed = experiment.Testbed
+	// RunConfig carries the knobs shared by the figure harnesses.
+	RunConfig = experiment.RunConfig
+	// Fig1Config parameterizes the Figure 1 sweep.
+	Fig1Config = experiment.Fig1Config
+	// Fig1Result holds Figure 1's boxplot statistics.
+	Fig1Result = experiment.Fig1Result
+	// TuningResult holds the traces of several tuners run under
+	// identical conditions (Figures 5-10).
+	TuningResult = experiment.TuningResult
+	// SimultaneousResult holds Figure 11's two concurrently tuned
+	// transfers.
+	SimultaneousResult = experiment.SimultaneousResult
+	// Improvement summarizes one scenario's default-vs-tuner gain.
+	Improvement = experiment.Improvement
+)
+
+// ANLtoUChicago returns the paper's 40 Gb/s short-RTT testbed.
+func ANLtoUChicago() Testbed { return experiment.ANLtoUChicago() }
+
+// ANLtoTACC returns the paper's 20 Gb/s, 33 ms testbed.
+func ANLtoTACC() Testbed { return experiment.ANLtoTACC() }
+
+// Fig1 reproduces the Figure 1 concurrency sweep.
+func Fig1(tb Testbed, cfg Fig1Config) (*Fig1Result, error) { return experiment.Fig1(tb, cfg) }
+
+// Fig5Loads returns the five load scenarios of Figures 5-7.
+func Fig5Loads() []Load { return experiment.Fig5Loads() }
+
+// TuneConcurrency reproduces one subfigure of Figures 5-7.
+func TuneConcurrency(tb Testbed, l Load, rc RunConfig) (*TuningResult, error) {
+	return experiment.TuneConcurrency(tb, l, rc)
+}
+
+// VaryingLoad returns the §IV-B load schedule (step at t=1000 s).
+func VaryingLoad() LoadSchedule { return experiment.VaryingLoad() }
+
+// TuneBoth reproduces Figures 8/9 (two-parameter tuning, varying
+// load).
+func TuneBoth(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	return experiment.TuneBoth(tb, rc)
+}
+
+// CompareHeuristics reproduces Figure 10 (nm-tuner vs heur1/heur2).
+func CompareHeuristics(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	return experiment.CompareHeuristics(tb, rc)
+}
+
+// Simultaneous reproduces Figure 11 (two concurrently tuned
+// transfers sharing the source NIC).
+func Simultaneous(tunerName string, rc RunConfig) (*SimultaneousResult, error) {
+	return experiment.Simultaneous(tunerName, rc)
+}
+
+// Improvements derives the §IV-A claims (gain factors, restart
+// overheads) from tuning results.
+func Improvements(results []*TuningResult) []Improvement {
+	return experiment.Improvements(results)
+}
+
+// RenderImprovements formats the claims table of Improvements.
+func RenderImprovements(imps []Improvement) string {
+	return experiment.RenderImprovements(imps)
+}
+
+// Disk-to-disk transfers (the paper's future-work item (1)).
+type (
+	// Dataset is an ordered set of files for a disk-to-disk
+	// transfer.
+	Dataset = dataset.Dataset
+	// DatasetFile is one file of a Dataset.
+	DatasetFile = dataset.File
+	// DiskScenario is one disk workload regime (file-size mix,
+	// storage bandwidth, per-file latency).
+	DiskScenario = experiment.DiskScenario
+)
+
+// UniformDataset returns n files of identical size.
+func UniformDataset(n int, size int64) Dataset { return dataset.Uniform(n, size) }
+
+// LogNormalDataset returns n files with log-normally distributed
+// sizes (median bytes, log-space sigma), deterministic per seed.
+func LogNormalDataset(n int, median, sigma float64, seed uint64) Dataset {
+	return dataset.LogNormal(n, median, sigma, seed)
+}
+
+// ParetoDataset returns n files with Pareto-distributed sizes
+// (minimum xm bytes, tail index alpha), deterministic per seed.
+func ParetoDataset(n int, xm, alpha float64, seed uint64) Dataset {
+	return dataset.Pareto(n, xm, alpha, seed)
+}
+
+// ManySmallFiles returns the latency-bound regime: n files of 1 MB.
+func ManySmallFiles(n int) Dataset { return dataset.ManySmall(n) }
+
+// ConcatDatasets joins datasets in order.
+func ConcatDatasets(sets ...Dataset) Dataset { return dataset.Concat(sets...) }
+
+// DefaultDiskParams returns the static disk-to-disk setting:
+// concurrency 2, parallelism 8, pipelining 4.
+func DefaultDiskParams() Params { return xfer.DefaultDisk() }
+
+// MapNCNPPP tunes concurrency, parallelism, and pipelining; x is
+// [nc, np, pp].
+func MapNCNPPP() ParamMap { return tuner.MapNCNPPP() }
+
+// DiskScenarios returns the three disk workload regimes (many-small,
+// lognormal-mix, few-huge), deterministic per seed.
+func DiskScenarios(seed uint64) []DiskScenario { return experiment.DiskScenarios(seed) }
+
+// TuneDisk runs the disk-to-disk comparison for one scenario: the
+// static disk default against cs-tuner and nm-tuner tuning
+// [nc, np, pp].
+func TuneDisk(tb Testbed, sc DiskScenario, rc RunConfig) (*TuningResult, error) {
+	return experiment.TuneDisk(tb, sc, rc)
+}
+
+// FilesMoved sums the files completed across a trace.
+func FilesMoved(tr *Trace) int { return experiment.FilesMoved(tr) }
+
+// Joint (endpoint-level) tuning of several transfers — the paper's
+// future-work item (4).
+type (
+	// JointTuner optimizes several transfers as one direct search
+	// over the concatenated parameter vector, maximizing the
+	// weighted aggregate throughput.
+	JointTuner = tuner.Joint
+	// JointTunerConfig parameterizes a JointTuner.
+	JointTunerConfig = tuner.JointConfig
+	// JointComparison holds the joint-vs-independent study results.
+	JointComparison = experiment.JointComparison
+)
+
+// NewJointCS returns a joint tuner driven by compass search.
+func NewJointCS(cfg JointTunerConfig) *JointTuner { return tuner.NewJointCS(cfg) }
+
+// NewJointNM returns a joint tuner driven by Nelder–Mead.
+func NewJointNM(cfg JointTunerConfig) *JointTuner { return tuner.NewJointNM(cfg) }
+
+// JointVsIndependent runs the Figure 11 scenario twice — independent
+// nm-tuners vs one joint nm search — and returns both outcomes.
+func JointVsIndependent(rc RunConfig) (*JointComparison, error) {
+	return experiment.JointVsIndependent(rc)
+}
+
+// TunerNames lists the tuners in the paper's presentation order.
+func TunerNames() []string { return experiment.TunerNames() }
+
+// ThirdParty runs the tuners under bursty third-party network traffic
+// (n background streams toggling every period seconds) — the traffic
+// class the paper could not control on its production links.
+func ThirdParty(tb Testbed, n int, period float64, rc RunConfig) (*TuningResult, error) {
+	return experiment.ThirdParty(tb, n, period, rc)
+}
+
+// ConvergenceTimes returns each tuner's time to reach frac of its
+// steady throughput (rolling window of `window` epochs).
+func ConvergenceTimes(res *TuningResult, frac float64, window int) map[string]float64 {
+	return experiment.ConvergenceTimes(res, frac, window)
+}
+
+// CompareModel pits the related-work empirical model baseline against
+// nm-tuner and default under the Figure 10 varying load.
+func CompareModel(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	return experiment.CompareModel(tb, rc)
+}

@@ -1,0 +1,57 @@
+package dstune_test
+
+import (
+	"fmt"
+
+	"dstune"
+)
+
+// ExampleMaximizeSearch uses a standalone direct search offline, away
+// from any transfer: maximize a concave function over a bounded
+// integer box.
+func ExampleMaximizeSearch() {
+	box := dstune.MustBox([]int{1}, []int{64})
+	objective := func(x []int) float64 {
+		d := float64(x[0] - 40)
+		return 100 - d*d
+	}
+	s := dstune.NewNelderMeadSearch([]int{2}, box)
+	x, f := dstune.MaximizeSearch(s, objective, 0)
+	fmt.Println(x, f)
+	// Output: [40] 100
+}
+
+// ExampleMapNC shows how a tuned vector becomes transfer parameters.
+func ExampleMapNC() {
+	m := dstune.MapNC(8) // parallelism fixed at 8
+	p := m([]int{5})
+	fmt.Println(p, p.Streams())
+	// Output: nc=5 np=8 40
+}
+
+// ExampleBox_Clamp demonstrates the paper's fBnd operation: rounding
+// to integers and projecting onto the bounds.
+func ExampleBox_Clamp() {
+	box := dstune.MustBox([]int{1, 1}, []int{100, 100})
+	fmt.Println(box.Clamp([]float64{3.8, 9.2}))
+	fmt.Println(box.Clamp([]float64{12, -1}))
+	// Output:
+	// [4 9]
+	// [12 1]
+}
+
+// ExampleShaper shows the loopback contention model: the per-connection
+// rate falls with the square of the connection count, so the aggregate
+// peaks at Optimum().
+func ExampleShaper() {
+	sh := &dstune.Shaper{Rate: 8e6, Quad: 1.0 / 36}
+	fmt.Println(sh.Optimum())
+	// Output: 6
+}
+
+// ExampleConstantLoad shows the paper's external-load vocabulary.
+func ExampleConstantLoad() {
+	sched := dstune.ConstantLoad(dstune.Load{Tfr: 16, Cmp: 64})
+	fmt.Println(sched.At(900))
+	// Output: ext.tfr=16 ext.cmp=64
+}

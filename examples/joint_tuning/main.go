@@ -1,0 +1,74 @@
+// Joint tuning: the paper's future-work item (4). Two transfers leave
+// the same source; instead of two independent tuners that treat each
+// other as external load (Figure 11), ONE direct search optimizes the
+// concatenated vector [nc1, np1, nc2, np2] against the weighted
+// aggregate throughput. Weights express transfer priority: here the
+// UChicago transfer counts three times as much as the TACC one.
+//
+// Run with: go run ./examples/joint_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dstune"
+)
+
+func main() {
+	fabric, err := dstune.NewFabric(dstune.FabricConfig{
+		Seed: 5,
+		Source: dstune.HostConfig{
+			Name:         "anl-nehalem",
+			Cores:        8,
+			CorePumpRate: 1.3e9,
+			NICRate:      5e9,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, err := fabric.AddPath(dstune.ANLtoUChicago().Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := fabric.AddPath(dstune.ANLtoTACC().Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1, err := fabric.NewTransfer(dstune.TransferConfig{
+		Name: "to-uchicago", Bytes: dstune.Unbounded, Path: p1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := fabric.NewTransfer(dstune.TransferConfig{
+		Name: "to-tacc", Bytes: dstune.Unbounded, Path: p2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	joint := dstune.NewJointNM(dstune.JointTunerConfig{
+		Box: dstune.MustBox(
+			[]int{1, 1, 1, 1},
+			[]int{128, 16, 128, 16}),
+		Start:   []int{2, 8, 2, 8},
+		Dims:    []int{2, 2},
+		Maps:    []dstune.ParamMap{dstune.MapNCNP(), dstune.MapNCNP()},
+		Weights: []float64{3, 1}, // UChicago has priority
+		Budget:  1800,
+	})
+	traces, err := joint.Tune([]dstune.Transferer{t1, t2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	uc, tc := traces[0], traces[1]
+	fmt.Println("joint nm search over [nc1 np1 nc2 np2], weights 3:1")
+	fmt.Printf("UChicago: %7.1f MB/s  final %v\n", uc.MeanThroughput()/1e6, uc.FinalX())
+	fmt.Printf("TACC:     %7.1f MB/s  final %v\n", tc.MeanThroughput()/1e6, tc.FinalX())
+	fmt.Printf("aggregate %7.1f of 5000 MB/s NIC\n",
+		(uc.MeanThroughput()+tc.MeanThroughput())/1e6)
+	fmt.Println("\ncompare: go run ./examples/simultaneous (independent tuners)")
+}

@@ -1,0 +1,3 @@
+module dstune
+
+go 1.22

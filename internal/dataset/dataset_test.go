@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	d := Uniform(10, 1000)
+	if d.Count() != 10 || d.TotalBytes() != 10000 {
+		t.Fatalf("Uniform: %v", d)
+	}
+	if d.MeanSize() != 1000 || d.MedianSize() != 1000 {
+		t.Fatalf("mean/median: %v/%v", d.MeanSize(), d.MedianSize())
+	}
+	if d.Files[3].Name != "file-000003" {
+		t.Fatalf("name %q", d.Files[3].Name)
+	}
+	if Uniform(-5, 1).Count() != 0 {
+		t.Fatal("negative count not clamped")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	var d Dataset
+	if d.MeanSize() != 0 || d.MedianSize() != 0 || d.TotalBytes() != 0 {
+		t.Fatal("empty dataset stats not zero")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	d := Dataset{Files: []File{{Size: 1}, {Size: 3}, {Size: 100}, {Size: 2}}}
+	if got := d.MedianSize(); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+}
+
+func TestLogNormalProperties(t *testing.T) {
+	d := LogNormal(5000, 1e6, 1.0, 7)
+	if d.Count() != 5000 {
+		t.Fatalf("count %d", d.Count())
+	}
+	med := d.MedianSize()
+	if med < 0.8e6 || med > 1.25e6 {
+		t.Fatalf("median %v, want near 1e6", med)
+	}
+	// Heavy tail: mean well above median.
+	if d.MeanSize() <= med {
+		t.Fatalf("mean %v not above median %v", d.MeanSize(), med)
+	}
+	for _, f := range d.Files {
+		if f.Size < 1 {
+			t.Fatal("size below 1 byte")
+		}
+	}
+}
+
+func TestLogNormalDeterministic(t *testing.T) {
+	a := LogNormal(100, 1e6, 1, 3)
+	b := LogNormal(100, 1e6, 1, 3)
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	c := LogNormal(100, 1e6, 1, 4)
+	same := true
+	for i := range a.Files {
+		if a.Files[i].Size != c.Files[i].Size {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	d := Pareto(5000, 1e5, 1.5, 9)
+	min := int64(math.MaxInt64)
+	for _, f := range d.Files {
+		if f.Size < min {
+			min = f.Size
+		}
+	}
+	if min < 1e5*0.99 {
+		t.Fatalf("minimum %v below xm", min)
+	}
+	// Tail: max far above the minimum.
+	var max int64
+	for _, f := range d.Files {
+		if f.Size > max {
+			max = f.Size
+		}
+	}
+	if float64(max) < 10*1e5 {
+		t.Fatalf("max %v suspiciously small for a Pareto tail", max)
+	}
+	if Pareto(10, 100, -1, 1).Count() != 10 {
+		t.Fatal("alpha fallback broken")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	d := Concat(Uniform(2, 10), Uniform(3, 20))
+	if d.Count() != 5 || d.TotalBytes() != 80 {
+		t.Fatalf("Concat: %v", d)
+	}
+}
+
+func TestRegimes(t *testing.T) {
+	small := ManySmall(100)
+	if small.TotalBytes() != 100<<20 {
+		t.Fatalf("ManySmall total %d", small.TotalBytes())
+	}
+	huge := FewHuge(2)
+	if huge.TotalBytes() != 20<<30 {
+		t.Fatalf("FewHuge total %d", huge.TotalBytes())
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Uniform(3, 1<<20).String(); !strings.Contains(s, "3 files") {
+		t.Fatalf("String: %q", s)
+	}
+}
+
+func TestTotalBytesMatchesSumProperty(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		d := Dataset{}
+		var want int64
+		for _, s := range sizes {
+			d.Files = append(d.Files, File{Size: int64(s)})
+			want += int64(s)
+		}
+		return d.TotalBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

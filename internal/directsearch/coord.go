@@ -1,0 +1,152 @@
+package directsearch
+
+// CoordConfig parameterizes the offline coordinate-descent searcher.
+type CoordConfig struct {
+	// Step is the initial move size along a coordinate; zero selects
+	// 8.
+	Step float64
+	// MinStep terminates the search once the step drops below it;
+	// zero selects 0.5.
+	MinStep float64
+	// MaxEvals caps the number of objective evaluations; zero selects
+	// 10000.
+	MaxEvals int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c CoordConfig) withDefaults() CoordConfig {
+	if c.Step == 0 {
+		c.Step = 8
+	}
+	if c.MinStep == 0 {
+		c.MinStep = 0.5
+	}
+	if c.MaxEvals == 0 {
+		c.MaxEvals = 10000
+	}
+	return c
+}
+
+// Coord is a classic coordinate-descent maximizer over a bounded
+// integer box: walk one coordinate at a time in the improving
+// direction, halve the step once no coordinate improves, stop below
+// MinStep. It is the textbook method the paper's online cd-tuner
+// (internal/tuner.CD) customizes; it is provided here so the
+// direct-search family is complete for offline use.
+type Coord struct {
+	box Box
+	cfg CoordConfig
+
+	inc     []int
+	fInc    float64
+	haveInc bool
+
+	dim   int
+	sign  float64
+	fails int // coordinates exhausted without improvement at this step
+	step  float64
+
+	pend  pending
+	best  best
+	evals int
+	done  bool
+}
+
+// NewCoord returns a coordinate-descent search starting at start
+// (clamped to box).
+func NewCoord(start []int, box Box, cfg CoordConfig) *Coord {
+	c := &Coord{box: box, cfg: cfg.withDefaults(), sign: 1}
+	c.step = c.cfg.Step
+	c.inc = box.ClampInt(start)
+	return c
+}
+
+// Step returns the current step size, for diagnostics.
+func (c *Coord) Step() float64 { return c.step }
+
+// advance moves to the opposite sign, then to the next coordinate,
+// halving the step after a full unproductive cycle. It reports false
+// when the search has converged.
+func (c *Coord) advance() bool {
+	if c.sign > 0 {
+		c.sign = -1
+		return true
+	}
+	c.sign = 1
+	c.dim = (c.dim + 1) % c.box.Dim()
+	c.fails++
+	if c.fails >= c.box.Dim() {
+		c.fails = 0
+		c.step *= 0.5
+		if c.step < c.cfg.MinStep {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate returns the next point to poll, skipping moves that
+// collapse onto the incumbent. It reports false when converged.
+func (c *Coord) candidate() ([]int, bool) {
+	for {
+		x := toFloat(c.inc)
+		x[c.dim] += c.sign * c.step
+		cand := c.box.Clamp(x)
+		if !equal(cand, c.inc) {
+			return cand, true
+		}
+		if !c.advance() {
+			return nil, false
+		}
+	}
+}
+
+// Suggest implements Searcher.
+func (c *Coord) Suggest() ([]int, bool) {
+	if c.done {
+		return nil, true
+	}
+	if c.pend.set {
+		return clone(c.pend.x), false
+	}
+	if c.evals >= c.cfg.MaxEvals {
+		c.done = true
+		return nil, true
+	}
+	if !c.haveInc {
+		c.pend.propose(c.inc)
+		return clone(c.pend.x), false
+	}
+	cand, ok := c.candidate()
+	if !ok {
+		c.done = true
+		return nil, true
+	}
+	c.pend.propose(cand)
+	return clone(c.pend.x), false
+}
+
+// Observe implements Searcher.
+func (c *Coord) Observe(f float64) {
+	x := c.pend.take()
+	c.evals++
+	c.best.update(x, f)
+	if !c.haveInc {
+		c.haveInc = true
+		c.fInc = f
+		return
+	}
+	if f > c.fInc {
+		// Keep walking the same direction from the new incumbent.
+		c.inc = x
+		c.fInc = f
+		c.fails = 0
+		return
+	}
+	if !c.advance() {
+		c.done = true
+	}
+}
+
+// Best implements Searcher.
+func (c *Coord) Best() ([]int, float64) { return clone(c.best.x), c.best.f }

@@ -1,0 +1,26 @@
+package endpoint
+
+import "testing"
+
+// benchAllocate measures one scheduling round with n transfer
+// processes against 16 compute jobs.
+func benchAllocate(b *testing.B, n int) {
+	b.Helper()
+	h := New(Config{Cores: 8, CorePumpRate: 1.25e9, NICRate: 5e9})
+	h.SetComputeJobs(16)
+	d := make([]Demand, n)
+	for i := range d {
+		d[i] = Demand{Threads: 8, Rate: 1e9}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		caps := h.Allocate(d)
+		if len(caps) != n {
+			b.Fatal("wrong length")
+		}
+	}
+}
+
+func BenchmarkAllocate8Procs(b *testing.B)   { benchAllocate(b, 8) }
+func BenchmarkAllocate64Procs(b *testing.B)  { benchAllocate(b, 64) }
+func BenchmarkAllocate512Procs(b *testing.B) { benchAllocate(b, 512) }

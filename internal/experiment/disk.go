@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dstune/internal/dataset"
+	"dstune/internal/directsearch"
+	"dstune/internal/load"
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// DiskScenario is one disk-to-disk workload regime, following the
+// file-size analysis of Yildirim et al. [25] that the paper's
+// future-work item (1) builds on.
+type DiskScenario struct {
+	// Name labels the regime.
+	Name string
+	// Files is the dataset to move.
+	Files dataset.Dataset
+	// DiskRate is the source storage bandwidth in bytes per second.
+	DiskRate float64
+	// FileOverhead is the per-file request+seek latency in seconds.
+	FileOverhead float64
+}
+
+// DiskScenarios returns the three regimes: request-latency-bound many
+// small files, a heavy-tailed mix, and bandwidth-bound huge files.
+// Deterministic per seed.
+func DiskScenarios(seed uint64) []DiskScenario {
+	return []DiskScenario{
+		{
+			Name:         "many-small",
+			Files:        dataset.ManySmall(20000), // 20k x 1 MB
+			DiskRate:     2e9,
+			FileOverhead: 0.5,
+		},
+		{
+			Name:         "lognormal-mix",
+			Files:        dataset.LogNormal(2000, 8<<20, 1.5, seed), // median 8 MB, heavy tail
+			DiskRate:     2e9,
+			FileOverhead: 0.5,
+		},
+		{
+			Name:         "few-huge",
+			Files:        dataset.Uniform(16, 4<<30), // 16 x 4 GB
+			DiskRate:     2e9,
+			FileOverhead: 0.5,
+		},
+	}
+}
+
+// diskTunerCfg builds the three-parameter tuner configuration
+// ([nc, np, pp]) for rc.
+func (rc RunConfig) diskTunerCfg() tuner.Config {
+	return tuner.Config{
+		Epoch:  rc.Epoch,
+		Budget: rc.Duration,
+		Seed:   rc.Seed,
+		Box:    mustBox3(rc.MaxNC, rc.MaxNP, 32),
+		Start:  []int{rc.StartNC, rc.StartNP, 4},
+		Map:    tuner.MapNCNPPP(),
+	}
+}
+
+// TuneDisk runs the disk-to-disk comparison for one scenario:
+// `default` holds the static disk setting (nc=2, np=8, pp=4) while
+// cs-tuner and nm-tuner tune all three parameters. Transfers are
+// bounded by the dataset, so a trace may end early with Done.
+func TuneDisk(tb Testbed, sc DiskScenario, rc RunConfig) (*TuningResult, error) {
+	rc = rc.withDefaults()
+	names := []string{"default", "cs-tuner", "nm-tuner"}
+	res := &TuningResult{
+		Testbed:  tb.Name,
+		Scenario: "disk: " + sc.Name,
+		Order:    names,
+		Traces:   make(map[string]*tuner.Trace, len(names)),
+	}
+	for _, name := range names {
+		f, _, err := tb.NewFabric(rc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		f.SetLoad(load.None(), nil)
+		policy := xfer.RestartEveryEpoch
+		if name == "default" {
+			policy = xfer.RestartOnChange
+		}
+		tr, err := f.NewTransfer(xfer.TransferConfig{
+			Name:         name,
+			Files:        sc.Files,
+			DiskRate:     sc.DiskRate,
+			FileOverhead: sc.FileOverhead,
+			Policy:       policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := rc.diskTunerCfg()
+		var tn tuner.Tuner
+		switch name {
+		case "default":
+			cfg.Start = []int{2, 8, 4} // the static disk default
+			tn = tuner.NewStatic(cfg)
+		case "cs-tuner":
+			tn = tuner.NewCS(cfg)
+		case "nm-tuner":
+			tn = tuner.NewNM(cfg)
+		}
+		trace, err := tn.Tune(tr)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", name, sc.Name, err)
+		}
+		res.Traces[name] = trace
+	}
+	return res, nil
+}
+
+// FilesMoved sums the files completed across a trace.
+func FilesMoved(tr *tuner.Trace) int {
+	n := 0
+	for _, r := range tr.Results {
+		n += r.Report.Files
+	}
+	return n
+}
+
+// mustBox3 builds the [nc, np, pp] box.
+func mustBox3(maxNC, maxNP, maxPP int) directsearch.Box {
+	return directsearch.MustBox([]int{1, 1, 1}, []int{maxNC, maxNP, maxPP})
+}

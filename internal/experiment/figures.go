@@ -1,0 +1,412 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"dstune/internal/directsearch"
+	"dstune/internal/load"
+	"dstune/internal/stats"
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// RunConfig carries the knobs shared by the figure harnesses. The zero
+// value reproduces the paper's settings.
+type RunConfig struct {
+	// Seed drives all randomness; runs with equal seeds are
+	// identical.
+	Seed uint64
+	// Duration is the transfer budget in seconds; zero selects the
+	// paper's 1800 s.
+	Duration float64
+	// Epoch is the control epoch e; zero selects the paper's 30 s.
+	Epoch float64
+	// NP is the fixed parallelism for concurrency-only tuning; zero
+	// selects the paper's 8.
+	NP int
+	// MaxNC and MaxNP bound the search box; zeros select 128 and 16.
+	MaxNC, MaxNP int
+	// StartNC and StartNP are the starting vector; zeros select the
+	// Globus defaults 2 and 8.
+	StartNC, StartNP int
+}
+
+// withDefaults returns rc with zero fields replaced by defaults.
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Duration == 0 {
+		rc.Duration = 1800
+	}
+	if rc.Epoch == 0 {
+		rc.Epoch = 30
+	}
+	if rc.NP == 0 {
+		rc.NP = 8
+	}
+	if rc.MaxNC == 0 {
+		rc.MaxNC = 128
+	}
+	if rc.MaxNP == 0 {
+		rc.MaxNP = 16
+	}
+	if rc.StartNC == 0 {
+		rc.StartNC = 2
+	}
+	if rc.StartNP == 0 {
+		rc.StartNP = 8
+	}
+	return rc
+}
+
+// tunerCfg builds the tuner configuration for rc. twoParam selects
+// [nc, np] tuning (§IV-B) over nc-only tuning (§IV-A).
+func (rc RunConfig) tunerCfg(twoParam bool) tuner.Config {
+	cfg := tuner.Config{
+		Epoch:  rc.Epoch,
+		Budget: rc.Duration,
+		Seed:   rc.Seed,
+	}
+	if twoParam {
+		cfg.Box = directsearch.MustBox([]int{1, 1}, []int{rc.MaxNC, rc.MaxNP})
+		cfg.Start = []int{rc.StartNC, rc.StartNP}
+		cfg.Map = tuner.MapNCNP()
+	} else {
+		cfg.Box = directsearch.MustBox([]int{1}, []int{rc.MaxNC})
+		cfg.Start = []int{rc.StartNC}
+		cfg.Map = tuner.MapNC(rc.NP)
+	}
+	return cfg
+}
+
+// newTuner builds the named tuner ("default", "cd-tuner", "cs-tuner",
+// "nm-tuner", "heur1", "heur2").
+func newTuner(name string, cfg tuner.Config) (tuner.Tuner, error) {
+	switch name {
+	case "default":
+		return tuner.NewStatic(cfg), nil
+	case "cd-tuner":
+		return tuner.NewCD(cfg), nil
+	case "cs-tuner":
+		return tuner.NewCS(cfg), nil
+	case "nm-tuner":
+		return tuner.NewNM(cfg), nil
+	case "heur1":
+		return tuner.NewHeur1(cfg), nil
+	case "heur2":
+		return tuner.NewHeur2(cfg), nil
+	case "model":
+		return tuner.NewModel(cfg), nil
+	}
+	return nil, fmt.Errorf("experiment: unknown tuner %q", name)
+}
+
+// TunerNames lists the tuners in the order the paper presents them,
+// plus the related-work empirical baseline "model".
+func TunerNames() []string {
+	return []string{"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model"}
+}
+
+// runTuned executes one tuned transfer on a fresh fabric of tb under
+// schedule sched. The "default" baseline keeps its processes alive
+// (RestartOnChange), as the real Globus service does; every adaptive
+// tuner restarts per epoch, as the paper's wrappers do.
+func runTuned(tb Testbed, name string, sched load.Schedule, rc RunConfig, twoParam bool) (*tuner.Trace, error) {
+	rc = rc.withDefaults()
+	f, _, err := tb.NewFabric(rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f.SetLoad(sched, nil)
+	policy := xfer.RestartEveryEpoch
+	if name == "default" {
+		policy = xfer.RestartOnChange
+	}
+	tr, err := f.NewTransfer(xfer.TransferConfig{
+		Name:   name,
+		Bytes:  xfer.Unbounded,
+		Policy: policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tn, err := newTuner(name, rc.tunerCfg(twoParam))
+	if err != nil {
+		return nil, err
+	}
+	return tn.Tune(tr)
+}
+
+// Fig1Config parameterizes the Figure 1 concurrency sweep.
+type Fig1Config struct {
+	// Seed drives the repeats (repeat i uses Seed+i).
+	Seed uint64
+	// Repeats per point; zero selects the paper's 5.
+	Repeats int
+	// Duration per run in seconds; zero selects the paper's 600 (10
+	// minutes).
+	Duration float64
+	// Concurrency values to sweep; nil selects powers of two from 1
+	// to 512.
+	Concurrency []int
+	// Loads to sweep; nil selects the paper's two scenarios: no load
+	// and ext.tfr=ext.cmp=16.
+	Loads []load.Load
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c Fig1Config) withDefaults() Fig1Config {
+	if c.Repeats == 0 {
+		c.Repeats = 5
+	}
+	if c.Duration == 0 {
+		c.Duration = 600
+	}
+	if c.Concurrency == nil {
+		c.Concurrency = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	if c.Loads == nil {
+		c.Loads = []load.Load{{}, {Tfr: 16, Cmp: 16}}
+	}
+	return c
+}
+
+// Fig1Result holds the Figure 1 boxplot statistics: observed
+// throughput per concurrency value under each load scenario
+// (parallelism fixed at 1, as in §III-A).
+type Fig1Result struct {
+	Testbed     string
+	Concurrency []int
+	Loads       []load.Load
+	// Summary maps load -> nc -> five-number summary of the repeats'
+	// whole-run throughputs, in bytes per second.
+	Summary map[load.Load]map[int]stats.Summary
+	// Critical maps load -> the concurrency with the highest median
+	// throughput (the paper's "critical point").
+	Critical map[load.Load]int
+}
+
+// Fig1 reproduces Figure 1: a static transfer per (load, nc, repeat)
+// with parallelism 1, reporting boxplot statistics of the observed
+// throughput.
+func Fig1(tb Testbed, cfg Fig1Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig1Result{
+		Testbed:     tb.Name,
+		Concurrency: cfg.Concurrency,
+		Loads:       cfg.Loads,
+		Summary:     make(map[load.Load]map[int]stats.Summary),
+		Critical:    make(map[load.Load]int),
+	}
+	for _, l := range cfg.Loads {
+		perNC := make(map[int]stats.Summary, len(cfg.Concurrency))
+		medians := make(map[int]float64, len(cfg.Concurrency))
+		for _, nc := range cfg.Concurrency {
+			tputs := make([]float64, 0, cfg.Repeats)
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				f, _, err := tb.NewFabric(cfg.Seed + uint64(rep))
+				if err != nil {
+					return nil, err
+				}
+				f.SetLoad(load.Constant(l), nil)
+				tr, err := f.NewTransfer(xfer.TransferConfig{
+					Name:   fmt.Sprintf("fig1-nc%d-r%d", nc, rep),
+					Bytes:  xfer.Unbounded,
+					Policy: xfer.RestartOnChange,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rep, err := tr.Run(xfer.Params{NC: nc, NP: 1}, cfg.Duration)
+				tr.Stop()
+				if err != nil {
+					return nil, err
+				}
+				tputs = append(tputs, rep.Throughput)
+			}
+			perNC[nc] = stats.Summarize(tputs)
+			medians[nc] = perNC[nc].Median
+		}
+		res.Summary[l] = perNC
+		res.Critical[l], _ = stats.ArgmaxKey(medians)
+	}
+	return res, nil
+}
+
+// TuningResult holds the traces of several tuners run under identical
+// conditions — the payload of Figures 5-10.
+type TuningResult struct {
+	Testbed  string
+	Scenario string
+	// Order lists tuner names in presentation order.
+	Order []string
+	// Traces maps tuner name -> its per-epoch trace.
+	Traces map[string]*tuner.Trace
+}
+
+// runSet runs the named tuners under the same schedule, each on a
+// fresh, identically seeded fabric (as in the paper, where each tuner
+// gets its own transfer window under reproduced load).
+func runSet(tb Testbed, names []string, scenario string, sched load.Schedule, rc RunConfig, twoParam bool) (*TuningResult, error) {
+	res := &TuningResult{
+		Testbed:  tb.Name,
+		Scenario: scenario,
+		Order:    names,
+		Traces:   make(map[string]*tuner.Trace, len(names)),
+	}
+	for _, name := range names {
+		tr, err := runTuned(tb, name, sched, rc, twoParam)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", name, scenario, err)
+		}
+		res.Traces[name] = tr
+	}
+	return res, nil
+}
+
+// Fig5Loads are the five external-load scenarios of Figures 5-7, in
+// subfigure order (a)-(e).
+func Fig5Loads() []load.Load {
+	return []load.Load{
+		{},        // (a) no load
+		{Cmp: 16}, // (b) external compute 16
+		{Cmp: 64}, // (c) external compute 64
+		{Tfr: 16}, // (d) external traffic 16
+		{Tfr: 64}, // (e) external traffic 64
+	}
+}
+
+// TuneConcurrency reproduces one subfigure of Figures 5-7: default,
+// cd-tuner, cs-tuner, and nm-tuner tuning concurrency (np fixed)
+// under constant load l. The returned traces carry the observed
+// throughput (Fig 5), the adopted nc values (Fig 6), and the
+// best-case throughput (Fig 7).
+func TuneConcurrency(tb Testbed, l load.Load, rc RunConfig) (*TuningResult, error) {
+	names := []string{"default", "cd-tuner", "cs-tuner", "nm-tuner"}
+	return runSet(tb, names, l.String(), load.Constant(l), rc, false)
+}
+
+// VaryingLoad is the §IV-B / §IV-C schedule: ext.tfr=64, ext.cmp=16
+// until t=1000 s, then ext.tfr=16, ext.cmp=16.
+func VaryingLoad() load.Schedule {
+	return load.Step(1000, load.Load{Tfr: 64, Cmp: 16}, load.Load{Tfr: 16, Cmp: 16})
+}
+
+// TuneBoth reproduces Figure 8 (ANL->TACC) and Figure 9
+// (ANL->UChicago): cs-tuner and nm-tuner tuning concurrency and
+// parallelism simultaneously under the varying load, against default.
+// cd-tuner is omitted as in the paper (it is ineffective under
+// changing load).
+func TuneBoth(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	names := []string{"default", "cs-tuner", "nm-tuner"}
+	return runSet(tb, names, "varying load", VaryingLoad(), rc, true)
+}
+
+// CompareHeuristics reproduces Figure 10: nm-tuner against heur1
+// (Balman) and heur2 (Yildirim) on ANL->TACC under the varying load,
+// tuning both parameters.
+func CompareHeuristics(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	names := []string{"nm-tuner", "heur1", "heur2"}
+	return runSet(tb, names, "varying load", VaryingLoad(), rc, true)
+}
+
+// SimultaneousResult holds Figure 11's outcome: two transfers from the
+// same source, each independently tuned, treating each other as
+// external load.
+type SimultaneousResult struct {
+	Tuner    string
+	UChicago *tuner.Trace
+	TACC     *tuner.Trace
+}
+
+// Simultaneous reproduces Figure 11: one transfer to UChicago and one
+// to TACC share the ANL source NIC while the named tuner ("nm-tuner"
+// or "cs-tuner") tunes nc and np for each independently. The two
+// tuners run concurrently in lockstep virtual time.
+func Simultaneous(name string, rc RunConfig) (*SimultaneousResult, error) {
+	rc = rc.withDefaults()
+	f, p1, p2, err := NewDualFabric(rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := f.NewTransfer(xfer.TransferConfig{Name: "to-uchicago", Bytes: xfer.Unbounded, Path: p1})
+	if err != nil {
+		return nil, err
+	}
+	t2, err := f.NewTransfer(xfer.TransferConfig{Name: "to-tacc", Bytes: xfer.Unbounded, Path: p2})
+	if err != nil {
+		return nil, err
+	}
+
+	mk := func(seedOff uint64) (tuner.Tuner, error) {
+		cfg := rc.tunerCfg(true)
+		cfg.Seed += seedOff
+		return newTuner(name, cfg)
+	}
+	tn1, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	tn2, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	var tr1, tr2 *tuner.Trace
+	var err1, err2 error
+	wg.Add(2)
+	go func() { defer wg.Done(); tr1, err1 = tn1.Tune(t1) }()
+	go func() { defer wg.Done(); tr2, err2 = tn2.Tune(t2) }()
+	wg.Wait()
+	if err1 != nil {
+		return nil, err1
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+	return &SimultaneousResult{Tuner: name, UChicago: tr1, TACC: tr2}, nil
+}
+
+// Improvement summarizes one scenario's default-vs-tuner outcome for
+// the §IV-A claims table.
+type Improvement struct {
+	Scenario string
+	// Default is the baseline's whole-run mean throughput.
+	Default float64
+	// Best is the best adaptive tuner's whole-run mean throughput,
+	// and BestName which tuner achieved it.
+	Best     float64
+	BestName string
+	// Factor is Best / Default.
+	Factor float64
+	// OverheadPct maps tuner name -> percent of throughput lost to
+	// restarts: 100 * (1 - observed/best-case).
+	OverheadPct map[string]float64
+}
+
+// Improvements derives the §IV-A claims (1.4x-10x gains, 15-50%
+// overhead) from a set of tuning results.
+func Improvements(results []*TuningResult) []Improvement {
+	out := make([]Improvement, 0, len(results))
+	for _, res := range results {
+		imp := Improvement{
+			Scenario:    res.Scenario,
+			OverheadPct: make(map[string]float64, len(res.Traces)),
+		}
+		if d, ok := res.Traces["default"]; ok {
+			imp.Default = d.MeanThroughput()
+		}
+		for name, tr := range res.Traces {
+			obs, best := tr.MeanThroughput(), tr.MeanBestCase()
+			if best > 0 {
+				imp.OverheadPct[name] = 100 * (1 - obs/best)
+			}
+			if name != "default" && obs > imp.Best {
+				imp.Best, imp.BestName = obs, name
+			}
+		}
+		imp.Factor = stats.Improvement(imp.Best, imp.Default)
+		out = append(out, imp)
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dstune/internal/load"
+)
+
+// quickRC is a shortened run configuration for tests: a 900 s budget
+// with the paper's 30 s epochs gives the tuners 30 control epochs.
+// (Shorter epochs would inflate the restart overhead far beyond the
+// paper's regime — the dead time is what it is.)
+func quickRC() RunConfig {
+	return RunConfig{Seed: 7, Duration: 900, Epoch: 30}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(ANLtoUChicago(), Fig1Config{
+		Seed:        1,
+		Repeats:     2,
+		Duration:    240,
+		Concurrency: []int{1, 4, 16, 64, 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLoad := load.Load{}
+	hiLoad := load.Load{Tfr: 16, Cmp: 16}
+
+	// Throughput rises monotonically with streams up to the critical
+	// point (paper observation 1).
+	free := res.Summary[noLoad]
+	if !(free[4].Median > free[1].Median && free[16].Median > free[4].Median) {
+		t.Fatalf("no-load throughput not rising: %v / %v / %v",
+			free[1].Median, free[4].Median, free[16].Median)
+	}
+	// ...and declines beyond it.
+	if free[256].Median >= free[64].Median {
+		t.Fatalf("no decline past critical point: nc=64 %v vs nc=256 %v",
+			free[64].Median, free[256].Median)
+	}
+	// The critical point increases with external load (observation 2).
+	if res.Critical[hiLoad] < res.Critical[noLoad] {
+		t.Fatalf("critical point fell under load: %d -> %d",
+			res.Critical[noLoad], res.Critical[hiLoad])
+	}
+	// External load decreases the peak throughput (observation 3).
+	peakFree := free[res.Critical[noLoad]].Median
+	peakLoaded := res.Summary[hiLoad][res.Critical[hiLoad]].Median
+	if peakLoaded >= peakFree {
+		t.Fatalf("peak did not drop under load: %v -> %v", peakFree, peakLoaded)
+	}
+	if !strings.Contains(res.Render(), "critical points") {
+		t.Fatal("Render missing critical points")
+	}
+}
+
+func TestTuneConcurrencyNoLoad(t *testing.T) {
+	res, err := TuneConcurrency(ANLtoUChicago(), load.Load{}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"].SteadyThroughput(600)
+	for _, name := range []string{"cd-tuner", "cs-tuner", "nm-tuner"} {
+		tr := res.Traces[name]
+		if tr.SteadyThroughput(600) < def {
+			t.Errorf("%s steady %v below default %v", name, tr.SteadyThroughput(600), def)
+		}
+		if x := tr.FinalX(); x[0] <= 2 {
+			t.Errorf("%s did not raise nc above the default 2 (final %v)", name, x)
+		}
+	}
+}
+
+func TestTuneConcurrencyComputeLoad(t *testing.T) {
+	res, err := TuneConcurrency(ANLtoUChicago(), load.Load{Cmp: 16}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"].SteadyThroughput(600)
+	bestOf := 0.0
+	for _, name := range []string{"cs-tuner", "nm-tuner"} {
+		if v := res.Traces[name].SteadyThroughput(600); v > bestOf {
+			bestOf = v
+		}
+	}
+	if bestOf < 3*def {
+		t.Fatalf("under cmp=16 the best tuner (%v) is not >=3x default (%v)", bestOf, def)
+	}
+}
+
+func TestImprovementsFromResults(t *testing.T) {
+	res, err := TuneConcurrency(ANLtoUChicago(), load.Load{Cmp: 16}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps := Improvements([]*TuningResult{res})
+	if len(imps) != 1 {
+		t.Fatalf("got %d improvements", len(imps))
+	}
+	im := imps[0]
+	if im.Factor < 2 {
+		t.Fatalf("improvement factor %v under compute load, want >= 2", im.Factor)
+	}
+	if im.BestName == "" || im.BestName == "default" {
+		t.Fatalf("best tuner %q", im.BestName)
+	}
+	// The adaptive tuners pay restart overhead; default pays almost
+	// none.
+	if ov := im.OverheadPct["default"]; ov > 5 {
+		t.Errorf("default overhead %v%%, want ~0", ov)
+	}
+	for _, name := range []string{"cs-tuner", "nm-tuner"} {
+		if ov := im.OverheadPct[name]; ov <= 1 || ov >= 80 {
+			t.Errorf("%s overhead %v%%, want within the paper's 15-50%% ballpark", name, ov)
+		}
+	}
+	if !strings.Contains(RenderImprovements(imps), "factor") {
+		t.Fatal("RenderImprovements missing header")
+	}
+}
+
+func TestTuneBothAdaptsToLoadDrop(t *testing.T) {
+	rc := RunConfig{Seed: 3, Duration: 1800, Epoch: 30}
+	res, err := TuneBoth(ANLtoTACC(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"]
+	for _, name := range []string{"cs-tuner", "nm-tuner"} {
+		tr := res.Traces[name]
+		// After the load drops at t=1000 the tuners must beat default
+		// decisively (the paper reports up to 10x here).
+		dAfter := def.SteadyThroughput(1200)
+		tAfter := tr.SteadyThroughput(1200)
+		if tAfter < 2*dAfter {
+			t.Errorf("%s after load drop: %v vs default %v, want >=2x", name, tAfter, dAfter)
+		}
+	}
+	if !strings.Contains(res.Render(), "cs-tuner") {
+		t.Fatal("Render missing tuner block")
+	}
+}
+
+func TestCompareHeuristics(t *testing.T) {
+	rc := RunConfig{Seed: 5, Duration: 1800, Epoch: 30}
+	res, err := CompareHeuristics(ANLtoTACC(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := res.Traces["nm-tuner"].MeanThroughput()
+	h1 := res.Traces["heur1"].MeanThroughput()
+	if nm < h1 {
+		t.Errorf("nm-tuner (%v) below heur1 (%v); the paper finds nm and heur2 clearly ahead", nm, h1)
+	}
+	// heur2 terminates: its vector must be constant over the last
+	// third of the run.
+	h2 := res.Traces["heur2"]
+	last := h2.Results[len(h2.Results)-1].X
+	for _, r := range h2.Results[2*len(h2.Results)/3:] {
+		if !equalIntsTest(r.X, last) {
+			t.Fatalf("heur2 still moving late in the run: %v vs %v", r.X, last)
+		}
+	}
+}
+
+func equalIntsTest(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimultaneous(t *testing.T) {
+	rc := RunConfig{Seed: 9, Duration: 1200, Epoch: 30}
+	res, err := Simultaneous("nm-tuner", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, tc := res.UChicago.MeanThroughput(), res.TACC.MeanThroughput()
+	if uc <= 0 || tc <= 0 {
+		t.Fatalf("transfers made no progress: %v, %v", uc, tc)
+	}
+	// The shared NIC bounds the aggregate.
+	if uc+tc > 5e9 {
+		t.Fatalf("aggregate %v exceeds the 5 GB/s NIC", uc+tc)
+	}
+	// The paper observes the UChicago transfer claiming the larger
+	// share of the shared NIC (its path supports 5 GB/s vs 2.5).
+	if uc < tc {
+		t.Logf("note: TACC (%v) out-earned UChicago (%v) this seed", tc, uc)
+	}
+	if !strings.Contains(res.Render(), "aggregate") {
+		t.Fatal("Render missing aggregate line")
+	}
+}
+
+func TestUnknownTuner(t *testing.T) {
+	if _, err := newTuner("bogus", RunConfig{}.withDefaults().tunerCfg(false)); err == nil {
+		t.Fatal("unknown tuner accepted")
+	}
+	if _, err := Simultaneous("bogus", quickRC()); err == nil {
+		t.Fatal("Simultaneous with unknown tuner accepted")
+	}
+}
+
+func TestTunerNamesBuildable(t *testing.T) {
+	cfg := RunConfig{}.withDefaults().tunerCfg(true)
+	for _, name := range TunerNames() {
+		tn, err := newTuner(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tn.Name() != name {
+			t.Fatalf("name mismatch: %q vs %q", tn.Name(), name)
+		}
+	}
+}
+
+func TestThirdPartyRobustness(t *testing.T) {
+	res, err := ThirdParty(ANLtoUChicago(), 64, 180, RunConfig{Seed: 21, Duration: 1440, Epoch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"].MeanThroughput()
+	nm := res.Traces["nm-tuner"].MeanThroughput()
+	if nm < def {
+		t.Fatalf("nm-tuner (%v) below default (%v) under bursty third-party traffic", nm, def)
+	}
+	if !strings.Contains(res.Scenario, "third-party") {
+		t.Fatalf("scenario label %q", res.Scenario)
+	}
+}
+
+func TestConvergenceTimesDerived(t *testing.T) {
+	res, err := TuneConcurrency(ANLtoUChicago(), load.Load{}, quickRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := ConvergenceTimes(res, 0.9, 3)
+	if len(times) != 4 {
+		t.Fatalf("got %d entries", len(times))
+	}
+	// The static default is at steady state from the start.
+	if times["default"] > 60 {
+		t.Fatalf("default convergence %v, want immediate", times["default"])
+	}
+	// The paper: cd-tuner reaches steady state quickly with a good
+	// starting point; cs/nm take large early steps and converge later.
+	if cd := times["cd-tuner"]; cd < 0 || cd > 600 {
+		t.Fatalf("cd-tuner convergence %v out of range", cd)
+	}
+}
+
+func TestCompareModel(t *testing.T) {
+	res, err := CompareModel(ANLtoTACC(), RunConfig{Seed: 23, Duration: 1800, Epoch: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"].MeanThroughput()
+	mod := res.Traces["model"].MeanThroughput()
+	nm := res.Traces["nm-tuner"].MeanThroughput()
+	if nm <= 0 || mod <= 0 || def <= 0 {
+		t.Fatal("no progress")
+	}
+	// The paper's core argument: under changing external conditions
+	// the model-based empirical approach degrades (its probing and
+	// refitting overhead eats its gains) while direct search stays
+	// clearly ahead.
+	if nm < 2*mod {
+		t.Fatalf("nm-tuner (%v) not well above the model baseline (%v) under varying load", nm, mod)
+	}
+	// The model baseline must still be in default's ballpark — it is
+	// not catastrophically wrong, just not adaptive enough.
+	if mod < 0.5*def {
+		t.Fatalf("model baseline (%v) collapsed below half of default (%v)", mod, def)
+	}
+	t.Logf("default %.0f, model %.0f, nm %.0f MB/s", def/1e6, mod/1e6, nm/1e6)
+}
+
+func TestTACCNoLoadTrend(t *testing.T) {
+	// §IV-A final paragraph: on ANL->TACC without load, adaptive
+	// gains are modest (far below the 4x+ of the compute-load
+	// scenarios) and the best-case rate exceeds the observed rate by
+	// the restart overhead.
+	res, err := TuneConcurrency(ANLtoTACC(), load.Load{}, RunConfig{Seed: 30, Duration: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Traces["default"].MeanThroughput()
+	nm := res.Traces["nm-tuner"]
+	if gain := nm.MeanThroughput() / def; gain < 1.0 || gain > 2.0 {
+		t.Fatalf("no-load TACC gain %v, want modest (1-2x)", gain)
+	}
+	if nm.MeanBestCase() <= nm.MeanThroughput() {
+		t.Fatal("best-case should exceed observed for a restarting tuner")
+	}
+}

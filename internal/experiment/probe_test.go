@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"testing"
+
+	"dstune/internal/load"
+	"dstune/internal/xfer"
+)
+
+// steady measures the steady-state observed throughput of a static
+// transfer with params p on testbed tb under load l: it warms up for
+// warm seconds and then averages over dur seconds.
+func steady(t *testing.T, tb Testbed, l load.Load, p xfer.Params, warm, dur float64, seed uint64) float64 {
+	t.Helper()
+	f, _, err := tb.NewFabric(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetLoad(load.Constant(l), nil)
+	tr, err := f.NewTransfer(xfer.TransferConfig{Name: "probe", Bytes: xfer.Unbounded, Policy: xfer.RestartOnChange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Stop()
+	if _, err := tr.Run(p, warm); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tr.Run(p, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Throughput
+}
+
+// TestProbeSweep prints the concurrency sweep for calibration; run
+// with -v. It only asserts that every run makes progress.
+func TestProbeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	tb := ANLtoUChicago()
+	for _, l := range []load.Load{{}, {Tfr: 16, Cmp: 16}} {
+		for _, nc := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+			got := steady(t, tb, l, xfer.Params{NC: nc, NP: 1}, 60, 120, 42)
+			t.Logf("%s %v nc=%-3d -> %7.1f MB/s", tb.Name, l, nc, got/1e6)
+			if got <= 0 {
+				t.Fatalf("no progress at nc=%d load=%v", nc, l)
+			}
+		}
+	}
+}

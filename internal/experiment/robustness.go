@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dstune/internal/load"
+)
+
+// ThirdParty runs default, cs-tuner, and nm-tuner under bursty
+// third-party network traffic: n background streams that toggle on
+// and off every period seconds without touching the source endpoint.
+// The paper notes it could not control this traffic class on its
+// production links; here it is a first-class, reproducible condition.
+func ThirdParty(tb Testbed, n int, period float64, rc RunConfig) (*TuningResult, error) {
+	sched := load.Square(period, load.Load{}, load.Load{Net: n})
+	scenario := fmt.Sprintf("bursty third-party net=%d period=%gs", n, period)
+	return runSet(tb, []string{"default", "cd-tuner", "cs-tuner", "nm-tuner"}, scenario, sched, rc, false)
+}
+
+// ConvergenceTimes returns each tuner's time to reach frac of its
+// steady throughput (rolling window of `window` epochs), in seconds;
+// -1 when never reached. This derives the §IV-A timing claims
+// (cd-tuner ~100 s unloaded; cs/nm-tuner 500-600 s under load).
+func ConvergenceTimes(res *TuningResult, frac float64, window int) map[string]float64 {
+	out := make(map[string]float64, len(res.Traces))
+	for name, tr := range res.Traces {
+		out[name] = tr.ConvergenceTime(frac, window)
+	}
+	return out
+}
+
+// CompareModel pits the related-work empirical baseline ("model",
+// Yildirim/Yin curve fitting) against nm-tuner and default, under the
+// same varying load as Figure 10. The paper's core argument is that
+// model-based approaches degrade when external conditions change;
+// this harness measures it.
+func CompareModel(tb Testbed, rc RunConfig) (*TuningResult, error) {
+	return runSet(tb, []string{"default", "model", "nm-tuner"}, "varying load", VaryingLoad(), rc, false)
+}

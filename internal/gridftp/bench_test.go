@@ -1,0 +1,37 @@
+package gridftp
+
+import (
+	"testing"
+
+	"dstune/internal/xfer"
+)
+
+// BenchmarkLoopbackThroughput measures the raw striped-transfer rate
+// over loopback with 4 unshaped connections; the metric is MB/s of
+// goodput.
+func BenchmarkLoopbackThroughput(b *testing.B) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewClient(ClientConfig{Addr: s.Addr(), Bytes: xfer.Unbounded})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	var bytes, secs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.Run(xfer.Params{NC: 4, NP: 1}, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += r.Bytes
+		secs += r.End - r.Start
+	}
+	b.StopTimer()
+	if secs > 0 {
+		b.ReportMetric(bytes/secs/1e6, "MB/s")
+	}
+}

@@ -1,0 +1,237 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstune/internal/xfer"
+)
+
+// ClientConfig configures a transfer client.
+type ClientConfig struct {
+	// Addr is the server's address.
+	Addr string
+	// Bytes is the total volume to transfer; use xfer.Unbounded for
+	// open-ended runs.
+	Bytes float64
+	// Shaper optionally imposes per-connection rate limits; nil
+	// pumps at full speed.
+	Shaper *Shaper
+	// Token identifies the transfer on the server; empty generates
+	// one.
+	Token string
+	// DialTimeout bounds each connection setup; zero selects 5 s.
+	DialTimeout time.Duration
+}
+
+// clientSeq disambiguates generated tokens within a process.
+var clientSeq atomic.Int64
+
+// Client is a striped memory-to-memory sender. It implements
+// xfer.Transferer against wall-clock time: each Run opens nc*np data
+// connections, pumps zeros for the epoch, and closes them.
+type Client struct {
+	cfg   ClientConfig
+	token string
+
+	mu        sync.Mutex
+	remaining atomic.Int64
+	start     time.Time
+	started   bool
+	stopped   bool
+	runs      int
+}
+
+// NewClient returns a client for cfg. It does not touch the network
+// until the first Run.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("gridftp: address required")
+	}
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("gridftp: transfer size must be positive, got %v", cfg.Bytes)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Token == "" {
+		cfg.Token = fmt.Sprintf("xfer-%d-%d", time.Now().UnixNano(), clientSeq.Add(1))
+	}
+	c := &Client{cfg: cfg, token: cfg.Token}
+	if cfg.Bytes >= float64(int64(1)<<62) {
+		c.remaining.Store(int64(1) << 62)
+	} else {
+		c.remaining.Store(int64(cfg.Bytes))
+	}
+	return c, nil
+}
+
+// Token returns the transfer's identifying token on the server.
+func (c *Client) Token() string { return c.token }
+
+// Remaining implements xfer.Transferer.
+func (c *Client) Remaining() float64 {
+	r := c.remaining.Load()
+	if r < 0 {
+		return 0
+	}
+	return float64(r)
+}
+
+// Now implements xfer.Transferer: wall-clock seconds since the first
+// Run.
+func (c *Client) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return 0
+	}
+	return time.Since(c.start).Seconds()
+}
+
+// Stop implements xfer.Transferer.
+func (c *Client) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+}
+
+// control dials the server's control port and performs one
+// command/response exchange.
+func (c *Client) control(cmd, wantPrefix string) (string, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return "", err
+	}
+	resp, err := readLine(bufio.NewReader(conn))
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(resp, wantPrefix) {
+		return "", fmt.Errorf("%w: %q to %q got %q", ErrProtocol, cmd, wantPrefix, resp)
+	}
+	return resp, nil
+}
+
+// ServerReceived asks the server how many bytes it has received for
+// this transfer's token.
+func (c *Client) ServerReceived() (int64, error) {
+	resp, err := c.control("STAT "+c.token, "BYTES ")
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if _, err := fmt.Sscanf(resp, "BYTES %d", &n); err != nil {
+		return 0, fmt.Errorf("%w: bad STAT response %q", ErrProtocol, resp)
+	}
+	return n, nil
+}
+
+// Run implements xfer.Transferer. The epoch is wall-clock seconds.
+func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return xfer.Report{}, xfer.ErrStopped
+	}
+	if epoch <= 0 {
+		c.mu.Unlock()
+		return xfer.Report{}, xfer.ErrBadEpoch
+	}
+	if !p.Valid() {
+		c.mu.Unlock()
+		return xfer.Report{}, xfer.ErrBadParams
+	}
+	if !c.started {
+		c.started = true
+		c.start = time.Now()
+	}
+	c.runs++
+	run := c.runs
+	startWall := time.Since(c.start).Seconds()
+	c.mu.Unlock()
+
+	if c.remaining.Load() <= 0 {
+		return xfer.Report{Params: p, Start: startWall, End: startWall, Done: true}, nil
+	}
+
+	// Setup phase — the restart analog: a control handshake plus one
+	// dial per data connection. Its duration is the epoch's DeadTime.
+	setupStart := time.Now()
+	n := p.Streams()
+	_ = run // runs are counted for diagnostics; the token is stable
+	if _, err := c.control(fmt.Sprintf("START %s %d", c.token, n), "OK"); err != nil {
+		return xfer.Report{}, fmt.Errorf("gridftp: start: %w", err)
+	}
+	conns := make([]net.Conn, 0, n)
+	closeAll := func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		if err != nil {
+			closeAll()
+			return xfer.Report{}, fmt.Errorf("gridftp: data dial %d/%d: %w", i+1, n, err)
+		}
+		if _, err := fmt.Fprintf(conn, "DATA %s\n", c.token); err != nil {
+			conn.Close()
+			closeAll()
+			return xfer.Report{}, fmt.Errorf("gridftp: data header: %w", err)
+		}
+		conns = append(conns, conn)
+	}
+	dead := time.Since(setupStart).Seconds()
+
+	// Pump phase.
+	deadline := time.Now().Add(time.Duration(epoch * float64(time.Second)))
+	rate := c.cfg.Shaper.perConnRate(n)
+	var wg sync.WaitGroup
+	sent := make([]int64, n)
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			conn.SetWriteDeadline(deadline.Add(time.Second))
+			sent[i] = pump(conn, rate, deadline, &c.remaining)
+		}(i, conn)
+	}
+	wg.Wait()
+	closeAll()
+
+	var bytes int64
+	for _, s := range sent {
+		bytes += s
+	}
+	endWall := time.Since(c.start).Seconds()
+	elapsed := endWall - startWall
+	r := xfer.Report{
+		Params:   p,
+		Start:    startWall,
+		End:      endWall,
+		Bytes:    float64(bytes),
+		DeadTime: dead,
+		Done:     c.remaining.Load() <= 0,
+	}
+	if elapsed > 0 {
+		r.Throughput = r.Bytes / elapsed
+	}
+	if live := elapsed - dead; live > 0 {
+		r.BestCase = r.Bytes / live
+	}
+	return r, nil
+}
+
+// Interface conformance check.
+var _ xfer.Transferer = (*Client)(nil)

@@ -1,0 +1,135 @@
+// Package gridftp provides a real-socket substitute for the paper's
+// globus-url-copy: a striped memory-to-memory transfer protocol over
+// plain TCP, exposing the same xfer.Transferer interface the tuners
+// drive against the simulator.
+//
+// The protocol is deliberately minimal (the paper's transfers are
+// /dev/zero to /dev/null):
+//
+//	client                         server
+//	------ control connection -----------
+//	START <token> <channels>\n
+//	                               OK\n
+//	------ data connections (channels) --
+//	DATA <token>\n                 (reads and discards, counting)
+//	<raw bytes until close>
+//	------ control connection -----------
+//	STAT <token>\n
+//	                               BYTES <n>\n
+//
+// Each Run call opens a fresh set of nc*np data connections, pumps
+// zeros for one control epoch, and tears them down — mirroring the
+// per-epoch process restart of the paper's wrappers; the setup time is
+// reported as the epoch's DeadTime. An optional Shaper imposes
+// per-connection rate limits and a contention penalty that grows with
+// the connection count, recreating on loopback the interior optimum a
+// WAN endpoint exhibits, so the tuners have something real to find.
+package gridftp
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// chunkSize is the write size of the zero pump, in bytes.
+const chunkSize = 64 << 10
+
+// zeros is the shared source buffer (the /dev/zero stand-in).
+var zeros = make([]byte, chunkSize)
+
+// Shaper emulates endpoint contention on a loopback link. The
+// effective per-connection rate is
+//
+//	Rate / (1 + Quad * n^2)
+//
+// for n total connections, so aggregate throughput n*Rate/(1+Quad*n^2)
+// peaks at n = 1/sqrt(Quad) and declines beyond it — the shape of the
+// paper's Figure 1.
+type Shaper struct {
+	// Rate is the per-connection byte rate with no contention; zero
+	// means unshaped.
+	Rate float64
+	// Quad is the contention coefficient; zero means no contention
+	// penalty.
+	Quad float64
+}
+
+// perConnRate returns the shaped per-connection rate for n total
+// connections, or +Inf when unshaped.
+func (s *Shaper) perConnRate(n int) float64 {
+	if s == nil || s.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return s.Rate / (1 + s.Quad*float64(n)*float64(n))
+}
+
+// Optimum returns the connection count at which the shaped aggregate
+// peaks (at least 1), or 0 when the shaper imposes no interior
+// optimum.
+func (s *Shaper) Optimum() int {
+	if s == nil || s.Rate <= 0 || s.Quad <= 0 {
+		return 0
+	}
+	n := int(math.Round(1 / math.Sqrt(s.Quad)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ErrProtocol reports a malformed exchange on a control or data
+// connection.
+var ErrProtocol = errors.New("gridftp: protocol error")
+
+// pump writes zeros to w at the given rate until the deadline, the
+// shared byte budget runs out, or a write fails. It returns the bytes
+// written.
+func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64) int64 {
+	var sent int64
+	start := time.Now()
+	for {
+		if time.Now().After(deadline) {
+			return sent
+		}
+		// Claim a chunk from the shared budget.
+		want := int64(chunkSize)
+		for {
+			left := budget.Load()
+			if left <= 0 {
+				return sent
+			}
+			if left < want {
+				want = left
+			}
+			if budget.CompareAndSwap(left, left-want) {
+				break
+			}
+		}
+		n, err := w.Write(zeros[:want])
+		sent += int64(n)
+		if err != nil {
+			budget.Add(want - int64(n)) // return the unsent remainder
+			return sent
+		}
+		if int64(n) < want {
+			budget.Add(want - int64(n))
+		}
+		// Token-bucket pacing: sleep off any rate debt.
+		if !math.IsInf(rate, 1) {
+			due := time.Duration(float64(sent) / rate * float64(time.Second))
+			elapsed := time.Since(start)
+			if due > elapsed {
+				sleep := due - elapsed
+				if remain := time.Until(deadline); sleep > remain {
+					sleep = remain
+				}
+				if sleep > 0 {
+					time.Sleep(sleep)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxLineLen bounds protocol header lines.
+const maxLineLen = 256
+
+// Server is the receiving end: it accepts control and data
+// connections, discards transferred bytes, and counts them per token.
+type Server struct {
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	received map[string]*atomic.Int64
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// Serve starts a server listening on addr (e.g. "127.0.0.1:0") and
+// begins accepting connections. Close shuts it down.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:       ln,
+		logf:     func(string, ...any) {},
+		received: make(map[string]*atomic.Int64),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogger installs a diagnostic logger (e.g. log.Printf). The
+// default discards.
+func (s *Server) SetLogger(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Addr returns the server's listen address, for clients to dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes all live connections, and waits for
+// the handlers to drain.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Received returns the bytes received so far for token.
+func (s *Server) Received(token string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.received[token]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// counter returns (creating if needed) the byte counter for token.
+func (s *Server) counter(token string) *atomic.Int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.received[token]
+	if !ok {
+		c = new(atomic.Int64)
+		s.received[token] = c
+	}
+	return c
+}
+
+// track registers a live connection for shutdown; the returned func
+// unregisters it.
+func (s *Server) track(c net.Conn) func() {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.closed.Load() {
+				s.logf("gridftp: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle serves one connection: the first line selects control (START
+// or STAT) or data (DATA) mode.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	defer s.track(conn)()
+	br := bufio.NewReaderSize(conn, 32<<10)
+
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := readLine(br)
+	if err != nil {
+		s.logf("gridftp: header: %v", err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return
+	}
+	switch fields[0] {
+	case "DATA":
+		if len(fields) != 2 {
+			fmt.Fprintf(conn, "ERR bad DATA header\n")
+			return
+		}
+		s.serveData(br, fields[1])
+	case "START", "STAT":
+		s.serveControl(conn, br, fields)
+	default:
+		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+	}
+}
+
+// serveData discards the connection's byte stream into the token's
+// counter. The buffered reader may already hold payload bytes.
+func (s *Server) serveData(br *bufio.Reader, token string) {
+	c := s.counter(token)
+	buf := make([]byte, chunkSize)
+	for {
+		n, err := br.Read(buf)
+		c.Add(int64(n))
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serveControl answers control commands; the first is already parsed,
+// further commands may follow on the same connection.
+func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
+	fields := first
+	for {
+		switch fields[0] {
+		case "START":
+			// START <token> <channels>: acknowledge. The server is
+			// stateless about channel counts; the argument is
+			// validated for protocol hygiene.
+			if len(fields) != 3 {
+				fmt.Fprintf(conn, "ERR bad START\n")
+				return
+			}
+			if _, err := strconv.Atoi(fields[2]); err != nil {
+				fmt.Fprintf(conn, "ERR bad channel count\n")
+				return
+			}
+			s.counter(fields[1]) // pre-create
+			fmt.Fprintf(conn, "OK\n")
+		case "STAT":
+			if len(fields) != 2 {
+				fmt.Fprintf(conn, "ERR bad STAT\n")
+				return
+			}
+			fmt.Fprintf(conn, "BYTES %d\n", s.Received(fields[1]))
+		default:
+			fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+			return
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		fields = strings.Fields(line)
+		if len(fields) == 0 {
+			return
+		}
+	}
+}
+
+// readLine reads one \n-terminated line, enforcing the length bound.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("%w: line too long (%d bytes)", ErrProtocol, len(line))
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

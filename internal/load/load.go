@@ -1,0 +1,134 @@
+// Package load describes external load on a transfer's source endpoint
+// as a function of virtual time: the paper's ext.tfr (streams of a
+// competing transfer) and ext.cmp (copies of a CPU-saturating dgemm).
+//
+// Schedules are pure functions of time so that experiments remain
+// deterministic and the fabric can query them every step.
+package load
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Load is the external load at one instant.
+type Load struct {
+	// Tfr is the number of streams of external transfer traffic
+	// originating at the source (the paper's ext.tfr): it consumes
+	// both network capacity and source CPU.
+	Tfr int
+	// Cmp is the number of external compute jobs on the source (the
+	// paper's ext.cmp).
+	Cmp int
+	// Net is the number of third-party streams crossing the network
+	// path without touching the source endpoint — the uncontrolled
+	// background traffic the paper notes it could not regulate.
+	Net int
+}
+
+// String implements fmt.Stringer.
+func (l Load) String() string {
+	s := fmt.Sprintf("ext.tfr=%d ext.cmp=%d", l.Tfr, l.Cmp)
+	if l.Net > 0 {
+		s += fmt.Sprintf(" net=%d", l.Net)
+	}
+	return s
+}
+
+// Schedule yields the external load at any virtual time.
+type Schedule interface {
+	// At returns the load at time t (seconds from transfer start).
+	At(t float64) Load
+}
+
+// constant is a time-invariant schedule.
+type constant struct{ l Load }
+
+// Constant returns a schedule that always reports l.
+func Constant(l Load) Schedule { return constant{l} }
+
+// None returns the empty schedule (no external load).
+func None() Schedule { return constant{} }
+
+// At implements Schedule.
+func (c constant) At(float64) Load { return c.l }
+
+// step switches from one load to another at a fixed time.
+type step struct {
+	at            float64
+	before, after Load
+}
+
+// Step returns a schedule reporting `before` until time `at` and
+// `after` from then on. The paper's Figures 8–10 use ext.tfr=64,
+// ext.cmp=16 before t=1000s and ext.tfr=16, ext.cmp=16 after.
+func Step(at float64, before, after Load) Schedule {
+	return step{at: at, before: before, after: after}
+}
+
+// At implements Schedule.
+func (s step) At(t float64) Load {
+	if t < s.at {
+		return s.before
+	}
+	return s.after
+}
+
+// square alternates between two loads with a fixed period.
+type square struct {
+	period float64
+	a, b   Load
+}
+
+// Square returns a schedule alternating between a and b every period
+// seconds (a first). It models bursty background conditions such as
+// the third-party traffic the paper could not control.
+func Square(period float64, a, b Load) Schedule {
+	if period <= 0 {
+		return Constant(a)
+	}
+	return square{period: period, a: a, b: b}
+}
+
+// At implements Schedule.
+func (s square) At(t float64) Load {
+	if t < 0 {
+		return s.a
+	}
+	if int(t/s.period)%2 == 0 {
+		return s.a
+	}
+	return s.b
+}
+
+// Segment is one piece of a piecewise-constant schedule.
+type Segment struct {
+	// Start is the virtual time at which the segment begins.
+	Start float64
+	// Load applies from Start until the next segment's start.
+	Load Load
+}
+
+// piecewise is a piecewise-constant schedule.
+type piecewise struct{ segs []Segment }
+
+// Piecewise returns a schedule built from the given segments, sorted
+// by start time. Before the first segment's start the load is zero.
+func Piecewise(segs ...Segment) Schedule {
+	s := make([]Segment, len(segs))
+	copy(s, segs)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	return piecewise{segs: s}
+}
+
+// At implements Schedule.
+func (p piecewise) At(t float64) Load {
+	var cur Load
+	for _, s := range p.segs {
+		if t < s.Start {
+			break
+		}
+		cur = s.Load
+	}
+	return cur
+}

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	s := Constant(Load{Tfr: 16, Cmp: 64})
+	for _, tt := range []float64{0, 1, 1e6} {
+		if got := s.At(tt); got != (Load{Tfr: 16, Cmp: 64}) {
+			t.Fatalf("At(%v) = %v", tt, got)
+		}
+	}
+}
+
+func TestNone(t *testing.T) {
+	if got := None().At(42); got != (Load{}) {
+		t.Fatalf("None().At(42) = %v, want zero", got)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step(1000, Load{Tfr: 64, Cmp: 16}, Load{Tfr: 16, Cmp: 16})
+	if got := s.At(999.9); got != (Load{Tfr: 64, Cmp: 16}) {
+		t.Fatalf("before step: %v", got)
+	}
+	if got := s.At(1000); got != (Load{Tfr: 16, Cmp: 16}) {
+		t.Fatalf("at step: %v", got)
+	}
+	if got := s.At(5000); got != (Load{Tfr: 16, Cmp: 16}) {
+		t.Fatalf("after step: %v", got)
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	s := Piecewise(
+		Segment{Start: 100, Load: Load{Tfr: 1}},
+		Segment{Start: 0, Load: Load{Cmp: 2}},
+		Segment{Start: 200, Load: Load{Tfr: 3, Cmp: 3}},
+	)
+	cases := []struct {
+		t    float64
+		want Load
+	}{
+		{-1, Load{}},
+		{0, Load{Cmp: 2}},
+		{99, Load{Cmp: 2}},
+		{100, Load{Tfr: 1}},
+		{199.9, Load{Tfr: 1}},
+		{200, Load{Tfr: 3, Cmp: 3}},
+		{1e9, Load{Tfr: 3, Cmp: 3}},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseEmpty(t *testing.T) {
+	s := Piecewise()
+	if got := s.At(10); got != (Load{}) {
+		t.Fatalf("empty piecewise At(10) = %v", got)
+	}
+}
+
+func TestPiecewiseDoesNotMutateInput(t *testing.T) {
+	segs := []Segment{{Start: 5}, {Start: 1}}
+	Piecewise(segs...)
+	if segs[0].Start != 5 {
+		t.Fatal("Piecewise sorted the caller's slice")
+	}
+}
+
+func TestStepEquivalentToPiecewise(t *testing.T) {
+	before, after := Load{Tfr: 64, Cmp: 16}, Load{Tfr: 16}
+	st := Step(1000, before, after)
+	pw := Piecewise(Segment{Start: 0, Load: before}, Segment{Start: 1000, Load: after})
+	f := func(tRaw uint16) bool {
+		tt := float64(tRaw) / 10
+		return st.At(tt) == pw.At(tt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadString(t *testing.T) {
+	if s := (Load{Tfr: 16, Cmp: 64}).String(); s != "ext.tfr=16 ext.cmp=64" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	a, b := Load{Net: 0}, Load{Net: 64}
+	s := Square(100, a, b)
+	cases := []struct {
+		t    float64
+		want Load
+	}{
+		{-5, a}, {0, a}, {99, a}, {100, b}, {199, b}, {200, a}, {350, b},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Non-positive period degrades to constant a.
+	if got := Square(0, a, b).At(1e6); got != a {
+		t.Fatalf("zero period At = %v", got)
+	}
+}
+
+func TestLoadStringWithNet(t *testing.T) {
+	if s := (Load{Tfr: 1, Cmp: 2, Net: 3}).String(); s != "ext.tfr=1 ext.cmp=2 net=3" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (Load{Tfr: 1, Cmp: 2}).String(); s != "ext.tfr=1 ext.cmp=2" {
+		t.Fatalf("String without net = %q", s)
+	}
+}

@@ -1,0 +1,24 @@
+package model
+
+import "testing"
+
+func BenchmarkFit(b *testing.B) {
+	want := Coeffs{A: 1e-20, B: -1e-18, C: 3.2e-17}
+	ns := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	th := synth(want, ns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ns, th); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimum(b *testing.B) {
+	c := Coeffs{A: 1e-20, B: -1e-18, C: 3.2e-17}
+	for i := 0; i < b.N; i++ {
+		if c.Optimum(1, 512) < 1 {
+			b.Fatal("bad optimum")
+		}
+	}
+}

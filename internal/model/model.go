@@ -1,0 +1,167 @@
+// Package model implements the empirical throughput model of the
+// paper's related work (Yildirim et al. [27], Yin et al. [28]): the
+// parallel-stream throughput curve
+//
+//	Th(n) = n / sqrt(a*n^2 + b*n + c)
+//
+// fitted from a few sampled (streams, throughput) measurements. The
+// linearization n^2/Th^2 = a*n^2 + b*n + c makes the fit a linear
+// least-squares problem; the fitted curve has an interior maximum at
+// n* = -2c/b when b < 0, otherwise it is monotone.
+//
+// The paper classifies this as an "empirical approach" and argues
+// model-free direct search is more robust to changing external
+// conditions; internal/tuner.Model turns this package into the
+// corresponding baseline tuner so the claim can be measured.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Coeffs are the fitted curve coefficients.
+type Coeffs struct {
+	A, B, C float64
+}
+
+// ErrDegenerate reports that the samples do not determine the model
+// (fewer than three distinct stream counts, zero throughputs, or a
+// singular system).
+var ErrDegenerate = errors.New("model: degenerate sample set")
+
+// Fit fits the curve to samples (ns[i] streams yielded th[i] bytes/s)
+// by least squares on the linearized form. At least three samples
+// with distinct positive stream counts and positive throughputs are
+// required.
+func Fit(ns []int, th []float64) (Coeffs, error) {
+	if len(ns) != len(th) {
+		return Coeffs{}, fmt.Errorf("model: %d stream counts for %d throughputs", len(ns), len(th))
+	}
+	distinct := map[int]bool{}
+	var xs, ys []float64
+	for i, n := range ns {
+		if n < 1 || th[i] <= 0 {
+			continue
+		}
+		distinct[n] = true
+		xs = append(xs, float64(n))
+		y := float64(n) * float64(n) / (th[i] * th[i])
+		ys = append(ys, y)
+	}
+	if len(distinct) < 3 {
+		return Coeffs{}, ErrDegenerate
+	}
+
+	// Normal equations for y = a*x^2 + b*x + c.
+	var s [5]float64 // sums of x^0 .. x^4
+	var t [3]float64 // sums of y*x^0 .. y*x^2
+	for i, x := range xs {
+		xp := 1.0
+		for p := 0; p <= 4; p++ {
+			s[p] += xp
+			if p <= 2 {
+				t[p] += ys[i] * xp
+			}
+			xp *= x
+		}
+	}
+	// Solve the 3x3 system M * [c b a]^T = t.
+	m := [3][4]float64{
+		{s[0], s[1], s[2], t[0]},
+		{s[1], s[2], s[3], t[1]},
+		{s[2], s[3], s[4], t[2]},
+	}
+	sol, ok := solve3(m)
+	if !ok {
+		return Coeffs{}, ErrDegenerate
+	}
+	return Coeffs{C: sol[0], B: sol[1], A: sol[2]}, nil
+}
+
+// solve3 performs Gaussian elimination with partial pivoting on a
+// 3x4 augmented matrix.
+func solve3(m [3][4]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	var out [3]float64
+	for r := 2; r >= 0; r-- {
+		v := m[r][3]
+		for k := r + 1; k < 3; k++ {
+			v -= m[r][k] * out[k]
+		}
+		out[r] = v / m[r][r]
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return [3]float64{}, false
+		}
+	}
+	return out, true
+}
+
+// Predict returns the modelled throughput for n streams, or 0 when
+// the model is invalid there.
+func (c Coeffs) Predict(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	x := float64(n)
+	d := c.A*x*x + c.B*x + c.C
+	if d <= 0 {
+		return 0
+	}
+	return x / math.Sqrt(d)
+}
+
+// Optimum returns the stream count in [lo, hi] that maximizes the
+// modelled throughput: the interior peak n* = -2C/B when it exists
+// within the range, otherwise the better bound.
+func (c Coeffs) Optimum(lo, hi int) int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	best, bestV := lo, c.Predict(lo)
+	consider := func(n int) {
+		if n < lo || n > hi {
+			return
+		}
+		if v := c.Predict(n); v > bestV {
+			best, bestV = n, v
+		}
+	}
+	consider(hi)
+	if c.B < 0 {
+		star := -2 * c.C / c.B
+		consider(int(math.Floor(star)))
+		consider(int(math.Ceil(star)))
+	}
+	return best
+}
+
+// String implements fmt.Stringer.
+func (c Coeffs) String() string {
+	return fmt.Sprintf("Th(n)=n/sqrt(%.3g*n^2%+.3g*n%+.3g)", c.A, c.B, c.C)
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// synth generates exact samples from known coefficients.
+func synth(c Coeffs, ns []int) []float64 {
+	th := make([]float64, len(ns))
+	for i, n := range ns {
+		th[i] = c.Predict(n)
+	}
+	return th
+}
+
+func TestFitRecoversKnownCurve(t *testing.T) {
+	// A curve with an interior optimum at n* = -2C/B = 64 and a
+	// negative discriminant (B^2 < 4AC), so the denominator stays
+	// positive everywhere.
+	want := Coeffs{A: 1e-20, B: -1e-18, C: 3.2e-17}
+	ns := []int{1, 4, 16, 64}
+	th := synth(want, ns)
+	got, err := Fit(ns, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 128; n *= 2 {
+		w, g := want.Predict(n), got.Predict(n)
+		if math.Abs(w-g)/w > 1e-6 {
+			t.Fatalf("Predict(%d): fitted %v vs true %v", n, g, w)
+		}
+	}
+	if opt := got.Optimum(1, 128); opt != 64 {
+		t.Fatalf("Optimum = %d, want 64", opt)
+	}
+}
+
+func TestFitExactWithThreeSamples(t *testing.T) {
+	want := Coeffs{A: 2e-19, B: -2e-19, C: 4e-17}
+	ns := []int{2, 8, 32}
+	got, err := Fit(ns, synth(want, ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		if math.Abs(got.Predict(n)-want.Predict(n))/want.Predict(n) > 1e-9 {
+			t.Fatalf("three-point fit not exact at n=%d", n)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([]int{1, 2}, []float64{1, 2}); err != ErrDegenerate {
+		t.Fatalf("two samples: %v, want ErrDegenerate", err)
+	}
+	// Repeated stream counts collapse to fewer distinct points.
+	if _, err := Fit([]int{4, 4, 4}, []float64{1, 1, 1}); err != ErrDegenerate {
+		t.Fatalf("repeated points: %v", err)
+	}
+	// Zero throughputs are discarded.
+	if _, err := Fit([]int{1, 2, 3}, []float64{0, 0, 0}); err != ErrDegenerate {
+		t.Fatalf("zero throughputs: %v", err)
+	}
+	// Invalid stream counts are discarded.
+	if _, err := Fit([]int{-1, 0, 2, 3}, []float64{1, 1, 1, 1}); err != ErrDegenerate {
+		t.Fatalf("invalid counts: %v", err)
+	}
+}
+
+func TestPredictEdge(t *testing.T) {
+	c := Coeffs{A: 1, B: 1, C: 1}
+	if c.Predict(0) != 0 || c.Predict(-3) != 0 {
+		t.Fatal("non-positive n should predict 0")
+	}
+	// Negative discriminant region predicts 0.
+	neg := Coeffs{A: -1, B: 0, C: 0}
+	if neg.Predict(5) != 0 {
+		t.Fatal("invalid region should predict 0")
+	}
+}
+
+func TestOptimumMonotoneCurve(t *testing.T) {
+	// b >= 0: throughput decreasing in n beyond... for a>0, b>0 the
+	// curve is maximized at the lower end or upper end; with b>0,c>0
+	// Th is increasing toward 1/sqrt(a) asymptote -> hi wins.
+	c := Coeffs{A: 1e-20, B: 1e-19, C: 1e-17}
+	if got := c.Optimum(1, 64); got != 64 {
+		t.Fatalf("monotone-up optimum = %d, want 64", got)
+	}
+}
+
+func TestOptimumClamps(t *testing.T) {
+	// Interior peak at 64, but the box is [1, 16]: clamp to 16.
+	c := Coeffs{A: 1e-20, B: -1e-18, C: 3.2e-17}
+	if got := c.Optimum(1, 16); got != 16 {
+		t.Fatalf("clamped optimum = %d, want 16", got)
+	}
+	if got := c.Optimum(100, 128); got != 100 {
+		t.Fatalf("clamped-from-below optimum = %d, want 100", got)
+	}
+	if got := c.Optimum(-5, 0); got < 1 {
+		t.Fatalf("degenerate range gave %d", got)
+	}
+}
+
+func TestOptimumNeverOutsideRangeProperty(t *testing.T) {
+	f := func(a, b, c float64, loRaw, span uint8) bool {
+		lo := int(loRaw%64) + 1
+		hi := lo + int(span%64)
+		co := Coeffs{A: a, B: b, C: c}
+		got := co.Optimum(lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	// 5% multiplicative noise: the recovered optimum should land in
+	// the right neighbourhood.
+	want := Coeffs{A: 1e-20, B: -1e-18, C: 3.2e-17} // peak 64
+	ns := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	th := synth(want, ns)
+	noise := []float64{1.03, 0.97, 1.05, 0.96, 1.02, 0.98, 1.04, 0.99}
+	for i := range th {
+		th[i] *= noise[i]
+	}
+	got, err := Fit(ns, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := got.Optimum(1, 256)
+	if opt < 32 || opt > 128 {
+		t.Fatalf("noisy fit optimum = %d, want near 64", opt)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Coeffs{A: 1, B: -2, C: 3}).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	m := [3][4]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{3, 6, 9, 12},
+	}
+	if _, ok := solve3(m); ok {
+		t.Fatal("singular system solved")
+	}
+}

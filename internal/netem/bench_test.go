@@ -1,0 +1,50 @@
+package netem
+
+import (
+	"testing"
+
+	"dstune/internal/sim"
+	"dstune/internal/tcpmodel"
+)
+
+// benchPath advances a path with n streams for b.N steps of 100 ms.
+func benchPath(b *testing.B, n int) {
+	b.Helper()
+	p := New(Config{
+		Capacity:   5e9,
+		BaseRTT:    0.012,
+		RandomLoss: 5e-6,
+		MaxCwnd:    4 << 20,
+	}, sim.NewRNG(1))
+	f := p.NewFlow(n, tcpmodel.NewHTCP())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(0.1)
+	}
+	if f.Delivered() <= 0 {
+		b.Fatal("no progress")
+	}
+	b.ReportMetric(float64(n)*float64(b.N), "stream-steps")
+}
+
+func BenchmarkPathStep16Streams(b *testing.B)  { benchPath(b, 16) }
+func BenchmarkPathStep128Streams(b *testing.B) { benchPath(b, 128) }
+func BenchmarkPathStep512Streams(b *testing.B) { benchPath(b, 512) }
+
+// BenchmarkPathStepManyFlows exercises the multi-flow bookkeeping: 64
+// single-stream flows (the ext.tfr=64 shape).
+func BenchmarkPathStepManyFlows(b *testing.B) {
+	p := New(Config{
+		Capacity:   5e9,
+		BaseRTT:    0.012,
+		RandomLoss: 5e-6,
+		MaxCwnd:    4 << 20,
+	}, sim.NewRNG(2))
+	for i := 0; i < 64; i++ {
+		p.NewFlow(1, tcpmodel.NewHTCP())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(0.1)
+	}
+}

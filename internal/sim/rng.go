@@ -1,0 +1,77 @@
+// Package sim provides the small deterministic kernel shared by the
+// network and endpoint simulators: a seeded random number source and a
+// fixed-step virtual clock.
+//
+// Everything in this repository that involves randomness draws from a
+// sim.RNG created from an explicit seed, so every experiment is exactly
+// reproducible. The clock measures virtual seconds as float64 values;
+// simulation rates are expressed in bytes per (virtual) second.
+package sim
+
+import "math/rand/v2"
+
+// RNG is a deterministic random source. The zero value is not usable;
+// construct with NewRNG.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded from seed. Two RNGs built from the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	// Derive the second PCG word from the first with SplitMix64 so that
+	// nearby seeds give unrelated streams.
+	return &RNG{r: rand.New(rand.NewPCG(seed, splitmix64(seed)))}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator, used only to
+// expand a single seed word into two.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bernoulli reports true with probability p. Values of p outside [0, 1]
+// are clamped.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Jitter returns x scaled by a uniform factor in [1-frac, 1+frac].
+// It is used to desynchronize otherwise identical streams.
+func (g *RNG) Jitter(x, frac float64) float64 {
+	if frac <= 0 {
+		return x
+	}
+	return x * (1 + frac*(2*g.r.Float64()-1))
+}
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Split returns a new RNG whose stream is independent of g's future
+// output. It is used to give each subsystem its own source so that
+// adding draws in one subsystem does not perturb another.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Uint64())
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Fatal("Std of <2 values should be 0")
+	}
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 2.138089935299395 // sample std
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{1, 9},
+		{0.5, 3.5},
+		{0.25, 1.75},
+		{0.75, 5.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdge(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil) != 0")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("single-element quantile should return the element")
+	}
+	if Quantile([]float64{1, 2}, -0.5) != 1 || Quantile([]float64{1, 2}, 1.5) != 2 {
+		t.Fatal("out-of-range q should clamp")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(raw, qa) <= Quantile(raw, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q = math.Abs(math.Mod(q, 1))
+		v := Quantile(raw, q)
+		s := make([]float64, len(raw))
+		copy(s, raw)
+		sort.Float64s(s)
+		return v >= s[0] && v <= s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Median != 3 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBin(t *testing.T) {
+	ts := []float64{0, 1, 2, 10, 11, 25}
+	vs := []float64{1, 2, 3, 10, 20, 99}
+	bins := Bin(ts, vs, 0, 30, 10)
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3", len(bins))
+	}
+	if bins[0] != 2 {
+		t.Fatalf("bin 0 = %v, want 2", bins[0])
+	}
+	if bins[1] != 15 {
+		t.Fatalf("bin 1 = %v, want 15", bins[1])
+	}
+	if bins[2] != 99 {
+		t.Fatalf("bin 2 = %v, want 99", bins[2])
+	}
+}
+
+func TestBinEmptyBinIsNaN(t *testing.T) {
+	bins := Bin([]float64{0}, []float64{5}, 0, 20, 10)
+	if !math.IsNaN(bins[1]) {
+		t.Fatalf("empty bin = %v, want NaN", bins[1])
+	}
+}
+
+func TestBinInvalid(t *testing.T) {
+	if Bin(nil, nil, 0, 10, 0) != nil {
+		t.Fatal("zero width should return nil")
+	}
+	if Bin(nil, nil, 10, 0, 1) != nil {
+		t.Fatal("inverted range should return nil")
+	}
+}
+
+func TestBinIgnoresOutOfRange(t *testing.T) {
+	bins := Bin([]float64{-5, 100}, []float64{1, 2}, 0, 10, 10)
+	if !math.IsNaN(bins[0]) {
+		t.Fatalf("out-of-range samples were binned: %v", bins)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(10, 2); got != 5 {
+		t.Fatalf("Improvement = %v, want 5", got)
+	}
+	if !math.IsInf(Improvement(1, 0), 1) {
+		t.Fatal("Improvement(1,0) should be +Inf")
+	}
+	if Improvement(0, 0) != 1 {
+		t.Fatal("Improvement(0,0) should be 1")
+	}
+}
+
+func TestArgmaxKey(t *testing.T) {
+	if _, ok := ArgmaxKey(nil); ok {
+		t.Fatal("ArgmaxKey(nil) reported ok")
+	}
+	k, ok := ArgmaxKey(map[int]float64{4: 1, 64: 9, 256: 3})
+	if !ok || k != 64 {
+		t.Fatalf("ArgmaxKey = %d, %v; want 64, true", k, ok)
+	}
+	// Deterministic tie-break toward the smaller key.
+	k, _ = ArgmaxKey(map[int]float64{8: 5, 2: 5})
+	if k != 2 {
+		t.Fatalf("tie-break gave %d, want 2", k)
+	}
+}

@@ -1,0 +1,23 @@
+package tcpmodel
+
+import "testing"
+
+// benchAlg measures the per-RTT update plus an occasional loss.
+func benchAlg(b *testing.B, alg Algorithm) {
+	b.Helper()
+	s := NewStream(0, 4<<20)
+	s.SlowStart = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SinceLoss += 0.012
+		alg.OnRTT(&s, 0.012)
+		if i%256 == 255 {
+			alg.OnLoss(&s)
+		}
+	}
+}
+
+func BenchmarkReno(b *testing.B)     { benchAlg(b, NewReno()) }
+func BenchmarkCUBIC(b *testing.B)    { benchAlg(b, NewCUBIC()) }
+func BenchmarkHTCP(b *testing.B)     { benchAlg(b, NewHTCP()) }
+func BenchmarkScalable(b *testing.B) { benchAlg(b, NewScalable()) }

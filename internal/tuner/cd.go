@@ -1,0 +1,119 @@
+package tuner
+
+import "dstune/internal/xfer"
+
+// CD is the coordinate-descent tuner of the paper's Algorithm 1: a
+// ±1 walk on one parameter driven by the sign of the relative change
+// between the last two epoch throughputs.
+//
+//   - Same vector twice with a significant throughput change (new
+//     congestion or freed bandwidth): probe upward.
+//   - Vector changed and the throughput slope is significantly
+//     positive: keep moving the same way (+1).
+//   - Vector changed and the slope is significantly negative: the
+//     parameter overshot (the source became the bottleneck): step
+//     back (-1).
+//   - Otherwise: hold.
+//
+// For multi-parameter tuning (the paper's §IV-B extension) the walk
+// applies to one coordinate at a time, rotating to the next after
+// StallEpochs consecutive holds and probing the new coordinate once.
+type CD struct {
+	cfg Config
+}
+
+// NewCD returns a cd-tuner.
+func NewCD(cfg Config) *CD { return &CD{cfg: cfg} }
+
+// Name implements Tuner.
+func (c *CD) Name() string { return "cd-tuner" }
+
+// Tune implements Tuner.
+func (c *CD) Tune(t xfer.Transferer) (*Trace, error) {
+	r, err := newRunner(c.Name(), c.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Stop()
+	cfg := r.cfg
+	dim := 0
+
+	// step moves coordinate `dim` of x by d within bounds.
+	step := func(x []int, d int) []int {
+		out := make([]int, len(x))
+		copy(out, x)
+		out[dim] += d
+		return cfg.Box.ClampInt(out)
+	}
+
+	// Lines 7-11: evaluate x0 and its upward probe x1.
+	xPrev2 := cfg.Box.ClampInt(cfg.Start)
+	fPrev2, stop, err := r.run(xPrev2)
+	if err != nil || stop {
+		return r.tr, err
+	}
+	xPrev := step(xPrev2, +1)
+	fPrev, stop, err := r.run(xPrev)
+	if err != nil || stop {
+		return r.tr, err
+	}
+
+	stalls := 0
+	for {
+		// Line 13: relative change between the last two epochs.
+		dc := delta(r.fitness(fPrev2), r.fitness(fPrev))
+
+		var next []int
+		moved := xPrev[dim] != xPrev2[dim]
+		switch {
+		case !moved && (dc > cfg.Tolerance || dc < -cfg.Tolerance):
+			// External conditions shifted while we held still: probe.
+			next = step(xPrev, +1)
+		case moved:
+			// Line 15: slope per unit move of the active coordinate.
+			slope := dc / float64(xPrev[dim]-xPrev2[dim])
+			switch {
+			case slope > cfg.Tolerance:
+				next = step(xPrev, +1)
+			case slope < -cfg.Tolerance:
+				next = step(xPrev, -1)
+			default:
+				next = xPrev
+			}
+		default:
+			next = xPrev
+		}
+
+		// Multi-parameter extension: rotate after repeated holds.
+		if equalInts(next, xPrev) {
+			stalls++
+			if len(cfg.Start) > 1 && stalls >= cfg.StallEpochs {
+				stalls = 0
+				dim = (dim + 1) % cfg.Box.Dim()
+				next = step(xPrev, +1) // probe the fresh coordinate once
+			}
+		} else {
+			stalls = 0
+		}
+
+		f, stop, err := r.run(next)
+		if err != nil || stop {
+			return r.tr, err
+		}
+		xPrev2, fPrev2 = xPrev, fPrev
+		xPrev, fPrev = next, f
+	}
+}
+
+// equalInts reports whether two vectors coincide.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

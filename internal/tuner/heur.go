@@ -1,0 +1,156 @@
+package tuner
+
+import "dstune/internal/xfer"
+
+// Heur1 is Balman & Kosar's dynamic adaptation heuristic [5], extended
+// to multiple parameters the same way cd-tuner is (the paper's §IV-C):
+// compare the two most recent epoch throughputs and additively
+// increase the active parameter by one while the comparison shows a
+// significant improvement. The heuristic has no decrease mechanism;
+// the paper notes it is a simplified cd-tuner and needs many more
+// control epochs to reach comparable throughput.
+type Heur1 struct {
+	cfg Config
+}
+
+// NewHeur1 returns a heur1 tuner.
+func NewHeur1(cfg Config) *Heur1 { return &Heur1{cfg: cfg} }
+
+// Name implements Tuner.
+func (h *Heur1) Name() string { return "heur1" }
+
+// Tune implements Tuner.
+func (h *Heur1) Tune(t xfer.Transferer) (*Trace, error) {
+	r, err := newRunner(h.Name(), h.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Stop()
+	cfg := r.cfg
+	dim := 0
+
+	x := cfg.Box.ClampInt(cfg.Start)
+	fPrev, stop, err := r.run(x)
+	if err != nil || stop {
+		return r.tr, err
+	}
+	// The first comparison needs a probe.
+	climbing := true
+	stalls := 0
+	for {
+		next := x
+		if climbing {
+			next = bump(cfg, x, dim, +1)
+		}
+		f, stop, err := r.run(next)
+		if err != nil || stop {
+			return r.tr, err
+		}
+		dc := delta(r.fitness(fPrev), r.fitness(f))
+		fPrev = f
+		if dc > cfg.Tolerance {
+			// Improvement between consecutive epochs: adopt the bump
+			// (if any) and keep climbing.
+			x = next
+			climbing = true
+			stalls = 0
+			continue
+		}
+		// No significant improvement: stop climbing and hold. A later
+		// significant improvement (e.g. external load released)
+		// re-arms the climb; a drop never does — heur1 cannot
+		// decrease.
+		if climbing && !equalInts(next, x) {
+			// The rejected probe still ran for an epoch; stay at x.
+			climbing = false
+		}
+		stalls++
+		if len(cfg.Start) > 1 && stalls >= cfg.StallEpochs {
+			stalls = 0
+			dim = (dim + 1) % cfg.Box.Dim()
+			climbing = true // probe the fresh coordinate
+		}
+	}
+}
+
+// Heur2 is Yildirim et al.'s expert heuristic [25]: exponentially
+// increase the active parameter (doubling each epoch) until the
+// throughput stops improving significantly, settle on the best value
+// seen, move to the next parameter, and terminate — it has no
+// decrement mechanism and never re-tunes, which is why the paper finds
+// it fast but sensitive to its starting values.
+type Heur2 struct {
+	cfg Config
+}
+
+// NewHeur2 returns a heur2 tuner.
+func NewHeur2(cfg Config) *Heur2 { return &Heur2{cfg: cfg} }
+
+// Name implements Tuner.
+func (h *Heur2) Name() string { return "heur2" }
+
+// Tune implements Tuner.
+func (h *Heur2) Tune(t xfer.Transferer) (*Trace, error) {
+	r, err := newRunner(h.Name(), h.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Stop()
+	cfg := r.cfg
+
+	x := cfg.Box.ClampInt(cfg.Start)
+	fBest, stop, err := r.run(x)
+	if err != nil || stop {
+		return r.tr, err
+	}
+	best := r.fitness(fBest)
+
+	// Exponential climb, one coordinate at a time.
+	for dim := 0; dim < cfg.Box.Dim(); dim++ {
+		for {
+			next := double(cfg, x, dim)
+			if equalInts(next, x) {
+				break // pinned at the bound
+			}
+			f, stop, err := r.run(next)
+			if err != nil || stop {
+				return r.tr, err
+			}
+			if delta(best, r.fitness(f)) > cfg.Tolerance {
+				x = next
+				best = r.fitness(f)
+				continue
+			}
+			// Worse or flat: settle on the previous value.
+			break
+		}
+	}
+
+	// Terminated: hold the settled parameters for the remainder.
+	for {
+		if _, stop, err := r.run(x); err != nil || stop {
+			return r.tr, err
+		}
+	}
+}
+
+// bump moves coordinate dim of x by d within bounds.
+func bump(cfg Config, x []int, dim, d int) []int {
+	out := make([]int, len(x))
+	copy(out, x)
+	out[dim] += d
+	return cfg.Box.ClampInt(out)
+}
+
+// double doubles coordinate dim of x within bounds, moving at least
+// one step.
+func double(cfg Config, x []int, dim int) []int {
+	out := make([]int, len(x))
+	copy(out, x)
+	v := out[dim] * 2
+	if v <= out[dim] {
+		v = out[dim] + 1
+	}
+	out[dim] = v
+	return cfg.Box.ClampInt(out)
+}

@@ -1,0 +1,255 @@
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dstune/internal/directsearch"
+	"dstune/internal/sim"
+	"dstune/internal/xfer"
+)
+
+// JointConfig parameterizes a Joint tuner. The Box and Start span the
+// concatenation of all transfers' vectors; Dims gives each transfer's
+// slice width and Maps its ParamMap over that slice. Weights scale
+// each transfer's contribution to the aggregate objective (transfer
+// priorities in the sense of Kettimuthu et al. [16]); nil means equal
+// weights.
+type JointConfig struct {
+	// Epoch, Tolerance, Lambda, NM, Budget, Seed, Restart, and
+	// ObserveBestCase mean the same as in Config.
+	Epoch           float64
+	Tolerance       float64
+	Lambda          float64
+	NM              directsearch.NMConfig
+	Box             directsearch.Box
+	Start           []int
+	Budget          float64
+	Seed            uint64
+	Restart         RestartFrom
+	ObserveBestCase bool
+
+	// Dims is the vector width per transfer (e.g. [2, 2] for two
+	// transfers each tuning nc and np).
+	Dims []int
+	// Maps converts each transfer's slice to its parameters.
+	Maps []ParamMap
+	// Weights are the per-transfer priorities; nil = all ones.
+	Weights []float64
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c JointConfig) withDefaults() JointConfig {
+	if c.Epoch == 0 {
+		c.Epoch = 30
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 5
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 8
+	}
+	if c.Weights == nil {
+		c.Weights = make([]float64, len(c.Dims))
+		for i := range c.Weights {
+			c.Weights[i] = 1
+		}
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c JointConfig) Validate() error {
+	if len(c.Dims) == 0 {
+		return errors.New("tuner: joint config needs at least one transfer")
+	}
+	if len(c.Maps) != len(c.Dims) {
+		return fmt.Errorf("tuner: %d maps for %d transfers", len(c.Maps), len(c.Dims))
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Dims) {
+		return fmt.Errorf("tuner: %d weights for %d transfers", len(c.Weights), len(c.Dims))
+	}
+	total := 0
+	for i, d := range c.Dims {
+		if d < 1 {
+			return fmt.Errorf("tuner: transfer %d has dim %d", i, d)
+		}
+		if c.Maps[i] == nil {
+			return fmt.Errorf("tuner: transfer %d has nil map", i)
+		}
+		total += d
+	}
+	if c.Box.Dim() != total || len(c.Start) != total {
+		return fmt.Errorf("tuner: box dim %d / start %d, want %d", c.Box.Dim(), len(c.Start), total)
+	}
+	return nil
+}
+
+// Joint tunes several transfers on a shared endpoint as one
+// optimization problem: one direct search over the concatenated
+// parameter vector, maximizing the weighted aggregate throughput.
+// This is the endpoint-level tuning the paper's §IV-D discussion and
+// future-work item (4) call for, in contrast to Figure 11's
+// independent tuners that treat each other as external load.
+//
+// All transfers run their control epochs concurrently (the simulation
+// fabric keeps them in lockstep virtual time), so one evaluation of
+// the joint vector costs one epoch of wall/virtual time regardless of
+// the number of transfers.
+type Joint struct {
+	cfg  JointConfig
+	name string
+	// newSearch builds the inner search (compass or Nelder–Mead).
+	newSearch func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher
+}
+
+// NewJointCS returns a joint tuner driven by compass search.
+func NewJointCS(cfg JointConfig) *Joint {
+	return &Joint{
+		cfg:  cfg,
+		name: "joint-cs",
+		newSearch: func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher {
+			return directsearch.NewCompass(start, cfg.Box, directsearch.CompassConfig{Lambda: cfg.Lambda}, rng)
+		},
+	}
+}
+
+// NewJointNM returns a joint tuner driven by Nelder–Mead.
+func NewJointNM(cfg JointConfig) *Joint {
+	return &Joint{
+		cfg:  cfg,
+		name: "joint-nm",
+		newSearch: func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher {
+			nmCfg := cfg.NM
+			if nmCfg.InitStep == 0 {
+				nmCfg.InitStep = cfg.Lambda
+			}
+			return directsearch.NewNelderMead(start, cfg.Box, nmCfg)
+		},
+	}
+}
+
+// Name returns the tuner's name.
+func (j *Joint) Name() string { return j.name }
+
+// slices cuts the joint vector into per-transfer slices.
+func (j *Joint) slices(x []int) [][]int {
+	out := make([][]int, len(j.cfg.Dims))
+	off := 0
+	for i, d := range j.cfg.Dims {
+		out[i] = x[off : off+d]
+		off += d
+	}
+	return out
+}
+
+// Tune drives the transfers until any of them completes or the budget
+// is reached, then stops them all and returns one trace per transfer
+// (in input order). Each trace's epochs record that transfer's own
+// slice of the joint vector.
+func (j *Joint) Tune(ts []xfer.Transferer) ([]*Trace, error) {
+	if err := j.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ts) != len(j.cfg.Dims) {
+		return nil, fmt.Errorf("tuner: %d transfers for %d configured slots", len(ts), len(j.cfg.Dims))
+	}
+	cfg := j.cfg.withDefaults()
+	defer func() {
+		for _, t := range ts {
+			t.Stop()
+		}
+	}()
+
+	traces := make([]*Trace, len(ts))
+	for i := range traces {
+		traces[i] = &Trace{Tuner: j.name}
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	x0 := cfg.Box.ClampInt(cfg.Start)
+
+	fitness := func(rep xfer.Report) float64 {
+		if cfg.ObserveBestCase {
+			return rep.BestCase
+		}
+		return rep.Throughput
+	}
+
+	// evaluate runs one concurrent epoch at joint vector x and
+	// returns the weighted aggregate objective.
+	evaluate := func(x []int) (float64, bool, error) {
+		parts := j.slices(x)
+		reps := make([]xfer.Report, len(ts))
+		errs := make([]error, len(ts))
+		var wg sync.WaitGroup
+		for i, t := range ts {
+			wg.Add(1)
+			go func(i int, t xfer.Transferer) {
+				defer wg.Done()
+				reps[i], errs[i] = t.Run(cfg.Maps[i](parts[i]), cfg.Epoch)
+			}(i, t)
+		}
+		wg.Wait()
+		stop := false
+		agg := 0.0
+		for i := range ts {
+			if errs[i] != nil {
+				return 0, true, errs[i]
+			}
+			traces[i].add(parts[i], reps[i])
+			agg += cfg.Weights[i] * fitness(reps[i])
+			if reps[i].Done {
+				stop = true
+			}
+		}
+		if cfg.Budget > 0 && ts[0].Now() >= cfg.Budget-1e-9 {
+			stop = true
+		}
+		return agg, stop, nil
+	}
+
+	// search drives one inner joint search to convergence.
+	search := func(start []int) (x []int, f float64, stop bool, err error) {
+		srch := j.newSearch(start, cfg, rng)
+		for {
+			cand, done := srch.Suggest()
+			if done {
+				x, f = srch.Best()
+				return x, f, false, nil
+			}
+			agg, stop, err := evaluate(cand)
+			if err != nil || stop {
+				bx, bf := srch.Best()
+				if bx == nil {
+					bx = start
+				}
+				return bx, bf, true, err
+			}
+			srch.Observe(agg)
+		}
+	}
+
+	x, fLast, stop, err := search(x0)
+	if err != nil || stop {
+		return traces, err
+	}
+	for {
+		agg, stop, err := evaluate(x)
+		if err != nil || stop {
+			return traces, err
+		}
+		dc := delta(fLast, agg)
+		fLast = agg
+		if dc > cfg.Tolerance || dc < -cfg.Tolerance {
+			start := x0
+			if cfg.Restart == FromCurrent {
+				start = x
+			}
+			x, fLast, stop, err = search(start)
+			if err != nil || stop {
+				return traces, err
+			}
+		}
+	}
+}

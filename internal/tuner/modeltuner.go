@@ -1,0 +1,134 @@
+package tuner
+
+import (
+	"dstune/internal/model"
+	"dstune/internal/xfer"
+)
+
+// Model is the empirical-approach baseline from the paper's related
+// work (Yildirim et al. [27], Yin et al. [28]): sample the throughput
+// at a few exponentially spaced stream counts, fit the parallel-stream
+// curve Th(n) = n/sqrt(a*n^2+b*n+c), jump to the fitted optimum, and
+// hold. The ε-monitor re-samples when consecutive epoch throughputs
+// diverge, giving the empirical approach its best shot at the
+// adaptivity the paper says it lacks ("collected data may become
+// obsolete when the external conditions change").
+//
+// The model covers one parameter — the first coordinate of the tuned
+// vector (the stream count); remaining coordinates stay at Start.
+type Model struct {
+	cfg Config
+}
+
+// NewModel returns a model-fitting tuner.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements Tuner.
+func (m *Model) Name() string { return "model" }
+
+// samplePoints returns exponentially spaced probe values for the
+// first coordinate: lo, 4*lo, 16*lo, ... clamped to the box, at least
+// three distinct values.
+func samplePoints(cfg Config) []int {
+	lo, hi := cfg.Box.Lo(0), cfg.Box.Hi(0)
+	if lo < 1 {
+		lo = 1
+	}
+	var pts []int
+	seen := map[int]bool{}
+	for v := lo; v <= hi; v *= 4 {
+		if !seen[v] {
+			pts = append(pts, v)
+			seen[v] = true
+		}
+		if v > hi/4 {
+			break
+		}
+	}
+	if !seen[hi] {
+		pts = append(pts, hi)
+	}
+	// Guarantee at least three distinct points when the box allows.
+	for _, extra := range []int{lo + 1, (lo + hi) / 2} {
+		if len(pts) >= 3 {
+			break
+		}
+		if extra >= lo && extra <= hi && !seen[extra] {
+			pts = append(pts, extra)
+			seen[extra] = true
+		}
+	}
+	return pts
+}
+
+// Tune implements Tuner.
+func (m *Model) Tune(t xfer.Transferer) (*Trace, error) {
+	r, err := newRunner(m.Name(), m.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Stop()
+	cfg := r.cfg
+	rest := cfg.Box.ClampInt(cfg.Start)
+	points := samplePoints(cfg)
+
+	// withN substitutes n into the first coordinate.
+	withN := func(n int) []int {
+		x := make([]int, len(rest))
+		copy(x, rest)
+		x[0] = n
+		return cfg.Box.ClampInt(x)
+	}
+
+	// sampleAndFit probes the sample points and returns the chosen
+	// stream count: the fitted optimum, or the best sampled point
+	// when the fit is degenerate.
+	sampleAndFit := func() (int, bool, error) {
+		ns := make([]int, 0, len(points))
+		th := make([]float64, 0, len(points))
+		bestN, bestF := points[0], -1.0
+		for _, n := range points {
+			rep, stop, err := r.run(withN(n))
+			if err != nil || stop {
+				return bestN, true, err
+			}
+			f := r.fitness(rep)
+			ns = append(ns, n)
+			th = append(th, f)
+			if f > bestF {
+				bestN, bestF = n, f
+			}
+		}
+		co, err := model.Fit(ns, th)
+		if err != nil {
+			// Degenerate fit: fall back to the best probe.
+			return bestN, false, nil
+		}
+		return co.Optimum(cfg.Box.Lo(0), cfg.Box.Hi(0)), false, nil
+	}
+
+	n, stop, err := sampleAndFit()
+	if err != nil || stop {
+		return r.tr, err
+	}
+	fLast := -1.0
+	for {
+		rep, stop, err := r.run(withN(n))
+		if err != nil || stop {
+			return r.tr, err
+		}
+		f := r.fitness(rep)
+		if fLast >= 0 {
+			dc := delta(fLast, f)
+			if dc > cfg.Tolerance || dc < -cfg.Tolerance {
+				n, stop, err = sampleAndFit()
+				if err != nil || stop {
+					return r.tr, err
+				}
+				fLast = -1
+				continue
+			}
+		}
+		fLast = f
+	}
+}

@@ -1,0 +1,110 @@
+package tuner
+
+import (
+	"dstune/internal/directsearch"
+	"dstune/internal/sim"
+	"dstune/internal/xfer"
+)
+
+// searchTuner is the common frame of cs-tuner and nm-tuner
+// (Algorithms 2 and 3): run the inner direct search to convergence,
+// then hold the incumbent and monitor consecutive epoch throughputs;
+// when they differ by more than the tolerance, invoke the search
+// again.
+type searchTuner struct {
+	cfg  Config
+	name string
+	// newSearch builds a fresh inner search from a starting vector.
+	newSearch func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher
+}
+
+// Name implements Tuner.
+func (s *searchTuner) Name() string { return s.name }
+
+// Tune implements Tuner.
+func (s *searchTuner) Tune(t xfer.Transferer) (*Trace, error) {
+	r, err := newRunner(s.name, s.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Stop()
+	cfg := r.cfg
+	rng := sim.NewRNG(cfg.Seed)
+	x0 := cfg.Box.ClampInt(cfg.Start)
+
+	// search drives one inner direct search to convergence, one
+	// control epoch per evaluation, and returns the incumbent.
+	search := func(start []int) (x []int, f float64, stop bool, err error) {
+		srch := s.newSearch(start, cfg, rng)
+		for {
+			cand, done := srch.Suggest()
+			if done {
+				x, f = srch.Best()
+				return x, f, false, nil
+			}
+			rep, stop, err := r.run(cand)
+			if err != nil || stop {
+				bx, bf := srch.Best()
+				if bx == nil {
+					bx = start
+				}
+				return bx, bf, true, err
+			}
+			srch.Observe(r.fitness(rep))
+		}
+	}
+
+	// Line 17: the initial search from x0.
+	x, fLast, stop, err := search(x0)
+	if err != nil || stop {
+		return r.tr, err
+	}
+
+	// Lines 18-25: the monitor loop.
+	for {
+		rep, stop, err := r.run(x)
+		if err != nil || stop {
+			return r.tr, err
+		}
+		dc := delta(fLast, r.fitness(rep))
+		fLast = r.fitness(rep)
+		if dc > cfg.Tolerance || dc < -cfg.Tolerance {
+			start := x0
+			if cfg.Restart == FromCurrent {
+				start = x
+			}
+			x, fLast, stop, err = search(start)
+			if err != nil || stop {
+				return r.tr, err
+			}
+		}
+	}
+}
+
+// NewCS returns the compass-search tuner of Algorithm 2.
+func NewCS(cfg Config) Tuner {
+	return &searchTuner{
+		cfg:  cfg,
+		name: "cs-tuner",
+		newSearch: func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher {
+			return directsearch.NewCompass(start, cfg.Box, directsearch.CompassConfig{
+				Lambda: cfg.Lambda,
+			}, rng)
+		},
+	}
+}
+
+// NewNM returns the Nelder–Mead tuner of Algorithm 3.
+func NewNM(cfg Config) Tuner {
+	return &searchTuner{
+		cfg:  cfg,
+		name: "nm-tuner",
+		newSearch: func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher {
+			nmCfg := cfg.NM
+			if nmCfg.InitStep == 0 {
+				nmCfg.InitStep = cfg.Lambda
+			}
+			return directsearch.NewNelderMead(start, cfg.Box, nmCfg)
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package xfer
+
+import "dstune/internal/dataset"
+
+// diskState is the disk-to-disk bookkeeping of a Sim transfer: a queue
+// of files, the file each process is currently moving, and the
+// per-file request latency that the pipelining parameter amortizes
+// (the paper's future-work item (1), following Yildirim et al. [25]).
+type diskState struct {
+	queue     []fileRem // files not yet started, in order
+	cur       []fileRem // per-process current file; rem <= 0 means idle
+	busyUntil []float64 // per-process: requesting/seeking until this time
+	diskRate  float64   // source storage bandwidth shared by the processes
+	overhead  float64   // per-file request+seek latency in seconds
+
+	filesDone  int
+	epochFiles int
+	active     int // processes moving a file this step
+}
+
+// fileRem is a file with its remaining bytes.
+type fileRem struct {
+	name string
+	rem  float64
+}
+
+// newDiskState builds the state for a dataset.
+func newDiskState(d dataset.Dataset, diskRate, overhead float64) *diskState {
+	ds := &diskState{
+		queue:    make([]fileRem, 0, d.Count()),
+		diskRate: diskRate,
+		overhead: overhead,
+	}
+	for _, f := range d.Files {
+		if f.Size <= 0 {
+			ds.filesDone++ // empty files complete immediately
+			continue
+		}
+		ds.queue = append(ds.queue, fileRem{name: f.Name, rem: float64(f.Size)})
+	}
+	return ds
+}
+
+// resize prepares per-process state for nc freshly launched processes.
+func (d *diskState) resize(nc int) {
+	d.cur = make([]fileRem, nc)
+	d.busyUntil = make([]float64, nc)
+}
+
+// requeueInFlight returns all in-flight files to the head of the
+// queue; the restarted processes will re-request them.
+func (d *diskState) requeueInFlight() {
+	var back []fileRem
+	for _, c := range d.cur {
+		if c.rem > 0 {
+			back = append(back, c)
+		}
+	}
+	d.queue = append(back, d.queue...)
+	d.cur = nil
+	d.busyUntil = nil
+}
+
+// assign hands files to idle processes, charging each new file the
+// request latency amortized by the pipelining depth, and counts the
+// processes actively moving data this step.
+func (d *diskState) assign(now float64, pp int) {
+	if pp < 1 {
+		pp = 1
+	}
+	d.active = 0
+	for i := range d.cur {
+		if d.cur[i].rem <= 0 && len(d.queue) > 0 {
+			d.cur[i] = d.queue[0]
+			d.queue = d.queue[1:]
+			d.busyUntil[i] = now + d.overhead/float64(pp)
+		}
+		if d.cur[i].rem > 0 && now >= d.busyUntil[i] {
+			d.active++
+		}
+	}
+}
+
+// capFor combines the CPU cap with the storage share for process i:
+// blocked (-1) while requesting or idle, otherwise the minimum of the
+// CPU cap and an equal share of the disk bandwidth.
+func (d *diskState) capFor(i int, now, cpuCap float64) float64 {
+	if i >= len(d.cur) || d.cur[i].rem <= 0 || now < d.busyUntil[i] {
+		return -1
+	}
+	c := cpuCap
+	if d.diskRate > 0 && d.active > 0 {
+		share := d.diskRate / float64(d.active)
+		if share < c {
+			c = share
+		}
+	}
+	return c
+}
+
+// consume applies delta delivered bytes to process i's current file
+// and returns the bytes actually consumed (excess beyond the file's
+// remainder is a pipeline bubble and is discarded).
+func (d *diskState) consume(i int, delta float64) float64 {
+	if i >= len(d.cur) || d.cur[i].rem <= 0 || delta <= 0 {
+		return 0
+	}
+	c := delta
+	if c > d.cur[i].rem {
+		c = d.cur[i].rem
+	}
+	d.cur[i].rem -= c
+	if d.cur[i].rem <= 1e-6 {
+		d.cur[i] = fileRem{}
+		d.filesDone++
+		d.epochFiles++
+	}
+	return c
+}
+
+// finished reports whether every file has completed.
+func (d *diskState) finished() bool {
+	if len(d.queue) > 0 {
+		return false
+	}
+	for _, c := range d.cur {
+		if c.rem > 0 {
+			return false
+		}
+	}
+	return true
+}

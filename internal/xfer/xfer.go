@@ -1,0 +1,144 @@
+// Package xfer defines the transfer abstraction the tuners drive — run
+// the transfer with given parameters for one control epoch and report
+// the observed throughput — and provides Sim, an implementation backed
+// by the endpoint and network simulators.
+//
+// A transfer is parameterized the way Globus GridFTP is: concurrency
+// (nc) counts transfer processes and parallelism (np) counts TCP
+// streams per process, for nc*np parallel streams total. Following the
+// paper, tuned transfers restart their processes at every control
+// epoch (the source of the 15–50% overhead the paper measures), while
+// the Report separately accounts a best-case throughput that excludes
+// the restart dead time — Figure 7's metric.
+package xfer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the tunable transfer parameters.
+type Params struct {
+	// NC is the concurrency: the number of transfer processes. For
+	// disk-to-disk transfers it is also the number of files in
+	// flight.
+	NC int
+	// NP is the parallelism: the number of TCP streams per process.
+	NP int
+	// PP is the pipelining depth for disk-to-disk transfers: how
+	// many file requests are batched on a control channel, which
+	// amortizes the per-file request latency. Zero means pipelining
+	// does not apply (memory-to-memory transfers) and is treated as
+	// 1 where a depth is needed.
+	PP int
+}
+
+// Streams returns the total number of parallel TCP streams, nc*np.
+func (p Params) Streams() int { return p.NC * p.NP }
+
+// Pipelining returns the effective pipelining depth (at least 1).
+func (p Params) Pipelining() int {
+	if p.PP < 1 {
+		return 1
+	}
+	return p.PP
+}
+
+// Valid reports whether the parameters are usable: concurrency and
+// parallelism at least 1, pipelining non-negative.
+func (p Params) Valid() bool { return p.NC >= 1 && p.NP >= 1 && p.PP >= 0 }
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	if p.PP > 0 {
+		return fmt.Sprintf("nc=%d np=%d pp=%d", p.NC, p.NP, p.PP)
+	}
+	return fmt.Sprintf("nc=%d np=%d", p.NC, p.NP)
+}
+
+// Default returns the Globus transfer service's default setting for
+// large files: concurrency 2, parallelism 8.
+func Default() Params { return Params{NC: 2, NP: 8} }
+
+// DefaultDisk returns a typical static setting for disk-to-disk
+// transfers of many files: concurrency 2, parallelism 8, pipelining
+// depth 4.
+func DefaultDisk() Params { return Params{NC: 2, NP: 8, PP: 4} }
+
+// Report describes one control epoch of a transfer.
+type Report struct {
+	// Params are the parameters the epoch ran with.
+	Params Params
+	// Start and End are the epoch's bounds in seconds of transfer
+	// time.
+	Start, End float64
+	// Bytes is the volume moved during the epoch.
+	Bytes float64
+	// DeadTime is the portion of the epoch lost to process restart.
+	DeadTime float64
+	// Throughput is the observed rate including all overheads:
+	// Bytes / (End - Start). This is what the tuners optimize.
+	Throughput float64
+	// BestCase is the rate excluding restart dead time:
+	// Bytes / (End - Start - DeadTime). It equals Throughput for a
+	// transfer that did not restart.
+	BestCase float64
+	// Files counts the files completed during the epoch (disk-to-disk
+	// transfers only; zero for memory-to-memory).
+	Files int
+	// Done reports that the transfer completed during this epoch.
+	Done bool
+}
+
+// Transferer runs a transfer one control epoch at a time. It is the
+// black box the direct-search tuners optimize: implementations exist
+// over the simulator (Sim) and over real sockets
+// (internal/gridftp.Client).
+type Transferer interface {
+	// Run transfers data with parameters p for epoch seconds (less if
+	// the transfer completes) and returns the epoch's report.
+	Run(p Params, epoch float64) (Report, error)
+	// Remaining returns the bytes left to transfer.
+	Remaining() float64
+	// Now returns the transfer clock in seconds since the start.
+	Now() float64
+	// Stop abandons the transfer, releasing its resources. Stopping a
+	// completed transfer is a no-op. After Stop, Run returns an
+	// error.
+	Stop()
+}
+
+// ErrStopped is returned by Run after Stop has been called.
+var ErrStopped = errors.New("xfer: transfer stopped")
+
+// ErrBadEpoch is returned by Run for a non-positive epoch length.
+var ErrBadEpoch = errors.New("xfer: epoch must be positive")
+
+// ErrBadParams is returned by Run for parameters with nc or np < 1.
+var ErrBadParams = errors.New("xfer: params must have nc >= 1 and np >= 1")
+
+// RestartPolicy controls when a Sim transfer pays process-restart dead
+// time.
+type RestartPolicy int
+
+const (
+	// RestartEveryEpoch restarts the transfer's processes on every
+	// Run call, as the paper's Python tuners do with globus-url-copy.
+	RestartEveryEpoch RestartPolicy = iota
+	// RestartOnChange restarts only when the parameters change — the
+	// "ideal scenario" of the paper's overhead discussion and its
+	// future-work item (2). The paper's `default` baseline behaves
+	// this way because it never changes parameters.
+	RestartOnChange
+)
+
+// String implements fmt.Stringer.
+func (p RestartPolicy) String() string {
+	switch p {
+	case RestartEveryEpoch:
+		return "restart-every-epoch"
+	case RestartOnChange:
+		return "restart-on-change"
+	}
+	return fmt.Sprintf("RestartPolicy(%d)", int(p))
+}
