@@ -55,6 +55,10 @@ func main() {
 	bytes := flag.Float64("bytes", 0, "bytes to transfer; 0 = unbounded (socket mode)")
 	shapeRate := flag.Float64("shape-rate", 0, "shaper per-connection rate in bytes/s; 0 = unshaped")
 	shapeQuad := flag.Float64("shape-quad", 0, "shaper contention coefficient")
+	retries := flag.Int("retries", 0, "dial attempts per connection, transient failures retried with backoff; 0 = 3 (socket mode)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling per retry; 0 = 50ms (socket mode)")
+	minStreams := flag.Int("min-streams", 0, "minimum data connections to run a degraded epoch; 0 = 1 (socket mode)")
+	maxTransient := flag.Int("max-transient", 0, "consecutive transient epoch failures tolerated before aborting; 0 = 3")
 
 	// Disk-mode flags.
 	files := flag.Int("files", 8000, "file count (disk mode)")
@@ -106,6 +110,9 @@ func main() {
 		}
 		transfer, err = dstune.NewTransferClient(dstune.TransferClientConfig{
 			Addr: *addr, Bytes: size, Shaper: shaper,
+			Retry:      dstune.RetryConfig{Attempts: *retries, Backoff: *retryBackoff},
+			MinStreams: *minStreams,
+			Seed:       *seed,
 		})
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
@@ -115,10 +122,11 @@ func main() {
 	}
 
 	cfg := dstune.TunerConfig{
-		Epoch:     *epoch,
-		Tolerance: *tolerance,
-		Budget:    *duration,
-		Seed:      *seed,
+		Epoch:                *epoch,
+		Tolerance:            *tolerance,
+		Budget:               *duration,
+		Seed:                 *seed,
+		MaxTransientFailures: *maxTransient,
 	}
 	switch {
 	case disk:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gridftpd [-addr :7632] [-v]
+//	gridftpd [-addr :7632] [-token-ttl 5m] [-v]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dstune"
 )
@@ -22,6 +23,7 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("gridftpd: ")
 	addr := flag.String("addr", ":7632", "listen address")
+	tokenTTL := flag.Duration("token-ttl", 5*time.Minute, "idle expiry for per-transfer byte counters; 0 disables")
 	verbose := flag.Bool("v", false, "log connection errors")
 	flag.Parse()
 
@@ -29,6 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.SetTokenTTL(*tokenTTL)
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}

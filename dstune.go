@@ -46,11 +46,13 @@ package dstune
 
 import (
 	"io"
+	"net"
 
 	"dstune/internal/dataset"
 	"dstune/internal/directsearch"
 	"dstune/internal/endpoint"
 	"dstune/internal/experiment"
+	"dstune/internal/faultnet"
 	"dstune/internal/gridftp"
 	"dstune/internal/load"
 	"dstune/internal/netem"
@@ -299,10 +301,55 @@ type (
 // ServeGridFTP starts a transfer server on addr (e.g. "127.0.0.1:0").
 func ServeGridFTP(addr string) (*GridFTPServer, error) { return gridftp.Serve(addr) }
 
+// ServeGridFTPListener starts a transfer server accepting on a
+// caller-supplied listener — e.g. one wrapped with InjectFaults.
+// Closing the server closes the listener.
+func ServeGridFTPListener(ln net.Listener) *GridFTPServer { return gridftp.ServeListener(ln) }
+
 // NewTransferClient returns a real-socket transfer client.
 func NewTransferClient(cfg TransferClientConfig) (*TransferClient, error) {
 	return gridftp.NewClient(cfg)
 }
+
+// Fault tolerance on the real-socket path.
+type (
+	// RetryConfig governs a TransferClient's per-connection dial
+	// retries (attempts, exponential backoff, cap).
+	RetryConfig = gridftp.RetryConfig
+	// DialFunc is a pluggable dialer for a TransferClient, e.g. a
+	// fault injector's Dial.
+	DialFunc = gridftp.DialFunc
+	// FaultConfig selects the faults a FaultInjector produces (seeded
+	// dial-refusal probability, mid-stream reset, added latency).
+	FaultConfig = faultnet.Config
+	// FaultInjector wraps dials and listeners with deterministic,
+	// seeded network faults for resilience testing.
+	FaultInjector = faultnet.Injector
+)
+
+// ErrTransient marks transfer errors that may clear on their own
+// (dial timeouts, resets, partial stripe failures); the tuners record
+// such epochs as zero-throughput and keep tuning. Test with
+// IsTransientError.
+var ErrTransient = xfer.ErrTransient
+
+// IsTransientError reports whether err is marked transient.
+func IsTransientError(err error) bool { return xfer.IsTransient(err) }
+
+// NewFaultInjector returns a deterministic network fault injector;
+// use its Dial as a TransferClientConfig.Dialer or wrap a listener
+// with InjectFaults.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultnet.New(cfg) }
+
+// InjectFaults wraps ln so accepted connections carry in's faults.
+func InjectFaults(in *FaultInjector, ln net.Listener) net.Listener { return in.Listen(ln) }
+
+// NoTolerance and NoLambda make an explicit zero configurable in
+// TunerConfig, where the zero value selects the paper's defaults.
+var (
+	NoTolerance = tuner.NoTolerance
+	NoLambda    = tuner.NoLambda
+)
 
 // Experiments (the paper's evaluation).
 type (

@@ -1,0 +1,224 @@
+// Package faultnet injects deterministic network faults for testing
+// the resilience of the real-socket transfer path without real WAN
+// flakiness. It wraps dials, listeners, and connections with three
+// seeded failure modes:
+//
+//   - dial refusal: a configurable fraction of Dial (or Accept) calls
+//     fail with a syscall.ECONNREFUSED-wrapped error;
+//   - mid-stream reset: a connection aborts with
+//     syscall.ECONNRESET-wrapped errors after carrying a configured
+//     number of bytes (reads plus writes), sending a real TCP RST to
+//     the peer where the platform allows it;
+//   - added latency: each successful dial or accept sleeps a fixed
+//     extra setup delay.
+//
+// All randomness comes from one seeded PRNG per Injector, so a test
+// that fixes Config.Seed sees the exact same fault schedule on every
+// run.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Config selects the faults an Injector produces.
+type Config struct {
+	// Seed drives the fault schedule; the same seed yields the same
+	// schedule.
+	Seed uint64
+	// DialFailProb is the probability in [0, 1] that a Dial (or an
+	// accepted connection, for listeners) is refused.
+	DialFailProb float64
+	// ResetAfterBytes, when positive, aborts every connection after it
+	// has carried this many bytes (reads plus writes combined).
+	ResetAfterBytes int64
+	// Latency is an extra setup delay added to each successful dial or
+	// accept.
+	Latency time.Duration
+}
+
+// Injector produces faulty dials and listeners according to a Config.
+// It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	dials   int
+	refused int
+	resets  int
+}
+
+// New returns an Injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+}
+
+// refuse rolls the seeded dice for one dial or accept.
+func (in *Injector) refuse() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.dials++
+	if in.cfg.DialFailProb > 0 && in.rng.Float64() < in.cfg.DialFailProb {
+		in.refused++
+		return true
+	}
+	return false
+}
+
+// noteReset records one injected connection reset.
+func (in *Injector) noteReset() {
+	in.mu.Lock()
+	in.resets++
+	in.mu.Unlock()
+}
+
+// Dials returns the number of dial/accept attempts seen so far.
+func (in *Injector) Dials() int { in.mu.Lock(); defer in.mu.Unlock(); return in.dials }
+
+// Refused returns the number of injected dial refusals so far.
+func (in *Injector) Refused() int { in.mu.Lock(); defer in.mu.Unlock(); return in.refused }
+
+// Resets returns the number of injected mid-stream resets so far.
+func (in *Injector) Resets() int { in.mu.Lock(); defer in.mu.Unlock(); return in.resets }
+
+// Dial dials addr like net.DialTimeout, subject to the injector's
+// faults. Refused dials return an error wrapping
+// syscall.ECONNREFUSED without touching the network.
+func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	if in.refuse() {
+		return nil, fmt.Errorf("faultnet: injected dial refusal to %s: %w", addr, syscall.ECONNREFUSED)
+	}
+	if in.cfg.Latency > 0 {
+		time.Sleep(in.cfg.Latency)
+	}
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.wrap(conn), nil
+}
+
+// Listen wraps ln so that accepted connections carry the injector's
+// faults: refused accepts are closed immediately (the peer sees the
+// connection drop), surviving ones reset mid-stream per the config.
+func (in *Injector) Listen(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// wrap attaches mid-stream reset injection to conn when configured.
+func (in *Injector) wrap(conn net.Conn) net.Conn {
+	if in.cfg.ResetAfterBytes <= 0 {
+		return conn
+	}
+	return &resetConn{Conn: conn, in: in, budget: in.cfg.ResetAfterBytes}
+}
+
+// listener is a fault-injecting net.Listener.
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept implements net.Listener. Injected refusals close the
+// accepted connection and keep accepting, so the listener's owner
+// never sees a spurious accept error.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.in.refuse() {
+			abort(conn)
+			continue
+		}
+		if l.in.cfg.Latency > 0 {
+			time.Sleep(l.in.cfg.Latency)
+		}
+		return l.in.wrap(conn), nil
+	}
+}
+
+// resetConn aborts after carrying budget bytes.
+type resetConn struct {
+	net.Conn
+	in *Injector
+
+	mu     sync.Mutex
+	budget int64
+	reset  bool
+}
+
+// spend consumes n bytes of the reset budget and reports whether the
+// connection is still alive.
+func (c *resetConn) spend(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return false
+	}
+	c.budget -= int64(n)
+	if c.budget <= 0 {
+		c.reset = true
+		c.in.noteReset()
+		abort(c.Conn)
+		return false
+	}
+	return true
+}
+
+// errReset is what both ends of an injected reset observe.
+func errReset() error {
+	return fmt.Errorf("faultnet: injected connection reset: %w", syscall.ECONNRESET)
+}
+
+// Read implements net.Conn.
+func (c *resetConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.reset
+	c.mu.Unlock()
+	if dead {
+		return 0, errReset()
+	}
+	n, err := c.Conn.Read(p)
+	if !c.spend(n) {
+		return n, errReset()
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *resetConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.reset
+	c.mu.Unlock()
+	if dead {
+		return 0, errReset()
+	}
+	n, err := c.Conn.Write(p)
+	if !c.spend(n) {
+		return n, errReset()
+	}
+	return n, err
+}
+
+// abort closes conn so the peer sees an RST rather than a clean FIN
+// where the platform allows it (SO_LINGER 0 on TCP).
+func abort(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// Interface conformance checks.
+var (
+	_ net.Conn     = (*resetConn)(nil)
+	_ net.Listener = (*listener)(nil)
+)

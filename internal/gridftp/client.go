@@ -3,6 +3,7 @@ package gridftp
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -11,6 +12,42 @@ import (
 
 	"dstune/internal/xfer"
 )
+
+// DialFunc dials a network address with a timeout; it is the
+// signature of net.DialTimeout. Clients accept one so tests can
+// substitute a fault-injecting dialer (internal/faultnet).
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// RetryConfig governs per-connection dial retries. Each failed dial
+// (or data-header write) is retried after an exponentially growing,
+// jittered backoff, up to Attempts total tries.
+type RetryConfig struct {
+	// Attempts is the total number of tries per connection (first try
+	// included); zero selects 3, values below 1 select 1.
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles per
+	// retry. Zero selects 50 ms.
+	Backoff time.Duration
+	// MaxBackoff caps the grown backoff; zero selects 1 s.
+	MaxBackoff time.Duration
+}
+
+// withDefaults returns r with zero fields replaced by defaults.
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.Attempts == 0 {
+		r.Attempts = 3
+	}
+	if r.Attempts < 1 {
+		r.Attempts = 1
+	}
+	if r.Backoff == 0 {
+		r.Backoff = 50 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = time.Second
+	}
+	return r
+}
 
 // ClientConfig configures a transfer client.
 type ClientConfig struct {
@@ -27,6 +64,16 @@ type ClientConfig struct {
 	Token string
 	// DialTimeout bounds each connection setup; zero selects 5 s.
 	DialTimeout time.Duration
+	// Dialer overrides the network dialer; nil uses net.DialTimeout.
+	Dialer DialFunc
+	// Retry governs per-connection dial retries and backoff.
+	Retry RetryConfig
+	// MinStreams is the minimum number of data connections an epoch
+	// must establish after retries to proceed degraded instead of
+	// failing; zero selects 1.
+	MinStreams int
+	// Seed drives the backoff jitter, deterministic per seed.
+	Seed uint64
 }
 
 // clientSeq disambiguates generated tokens within a process.
@@ -35,9 +82,18 @@ var clientSeq atomic.Int64
 // Client is a striped memory-to-memory sender. It implements
 // xfer.Transferer against wall-clock time: each Run opens nc*np data
 // connections, pumps zeros for the epoch, and closes them.
+//
+// Run is fault-tolerant: connection setup retries transiently failed
+// dials with exponential backoff, and an epoch whose stripe partly
+// fails after retries runs degraded on the surviving streams (see the
+// package comment's error taxonomy). Run must not be called
+// concurrently with itself.
 type Client struct {
 	cfg   ClientConfig
 	token string
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu        sync.Mutex
 	remaining atomic.Int64
@@ -45,6 +101,7 @@ type Client struct {
 	started   bool
 	stopped   bool
 	runs      int
+	acked     int64 // server-confirmed bytes (receiver truth)
 }
 
 // NewClient returns a client for cfg. It does not touch the network
@@ -62,7 +119,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Token == "" {
 		cfg.Token = fmt.Sprintf("xfer-%d-%d", time.Now().UnixNano(), clientSeq.Add(1))
 	}
-	c := &Client{cfg: cfg, token: cfg.Token}
+	if cfg.Dialer == nil {
+		cfg.Dialer = net.DialTimeout
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.MinStreams < 1 {
+		cfg.MinStreams = 1
+	}
+	c := &Client{
+		cfg:   cfg,
+		token: cfg.Token,
+		rng:   rand.New(rand.NewSource(int64(cfg.Seed))),
+	}
 	if cfg.Bytes >= float64(int64(1)<<62) {
 		c.remaining.Store(int64(1) << 62)
 	} else {
@@ -94,17 +162,58 @@ func (c *Client) Now() float64 {
 	return time.Since(c.start).Seconds()
 }
 
-// Stop implements xfer.Transferer.
+// Stop implements xfer.Transferer. It also releases the transfer's
+// token counter on the server (a best-effort CLOSE exchange), so
+// long-lived servers don't accumulate dead counters.
 func (c *Client) Stop() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	already := c.stopped
 	c.stopped = true
+	started := c.started
+	c.mu.Unlock()
+	if already || !started {
+		return
+	}
+	c.control("CLOSE "+c.token, "OK")
+}
+
+// backoff returns the jittered sleep before retry k (1-based): the
+// configured base doubled per retry, capped, scaled by a seeded
+// random factor in [0.5, 1.5).
+func (c *Client) backoff(k int) time.Duration {
+	d := c.cfg.Retry.Backoff
+	for i := 1; i < k && d < c.cfg.Retry.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.Retry.MaxBackoff {
+		d = c.cfg.Retry.MaxBackoff
+	}
+	c.rngMu.Lock()
+	j := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * j)
 }
 
 // control dials the server's control port and performs one
-// command/response exchange.
-func (c *Client) control(cmd, wantPrefix string) (string, error) {
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+// command/response exchange, retrying transient failures per the
+// retry config. It returns the response and the retries spent.
+func (c *Client) control(cmd, wantPrefix string) (resp string, retries int, err error) {
+	for k := 0; k < c.cfg.Retry.Attempts; k++ {
+		if k > 0 {
+			retries++
+			time.Sleep(c.backoff(k))
+		}
+		resp, err = c.controlOnce(cmd, wantPrefix)
+		if err == nil || !transientNetErr(err) {
+			return resp, retries, err
+		}
+	}
+	return "", retries, err
+}
+
+// controlOnce performs one un-retried command/response exchange.
+func (c *Client) controlOnce(cmd, wantPrefix string) (string, error) {
+	conn, err := c.cfg.Dialer("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return "", err
 	}
@@ -126,7 +235,7 @@ func (c *Client) control(cmd, wantPrefix string) (string, error) {
 // ServerReceived asks the server how many bytes it has received for
 // this transfer's token.
 func (c *Client) ServerReceived() (int64, error) {
-	resp, err := c.control("STAT "+c.token, "BYTES ")
+	resp, _, err := c.control("STAT "+c.token, "BYTES ")
 	if err != nil {
 		return 0, err
 	}
@@ -137,7 +246,75 @@ func (c *Client) ServerReceived() (int64, error) {
 	return n, nil
 }
 
-// Run implements xfer.Transferer. The epoch is wall-clock seconds.
+// dialData establishes one data connection (dial plus DATA header),
+// retrying transient failures. It returns the connection and the
+// retries spent.
+func (c *Client) dialData() (conn net.Conn, retries int, err error) {
+	for k := 0; k < c.cfg.Retry.Attempts; k++ {
+		if k > 0 {
+			retries++
+			time.Sleep(c.backoff(k))
+		}
+		conn, err = c.cfg.Dialer("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		if err != nil {
+			if transientNetErr(err) {
+				continue
+			}
+			return nil, retries, err
+		}
+		if _, err = fmt.Fprintf(conn, "DATA %s\n", c.token); err != nil {
+			conn.Close()
+			if transientNetErr(err) {
+				continue
+			}
+			return nil, retries, err
+		}
+		return conn, retries, nil
+	}
+	return nil, retries, err
+}
+
+// reconcile polls the server's byte count for the token until two
+// consecutive reads agree (the kernel buffers have drained) or a
+// short deadline passes; individual STAT failures are retried within
+// the deadline. The bool result reports whether the server answered
+// at all.
+func (c *Client) reconcile() (int64, bool) {
+	deadline := time.Now().Add(500 * time.Millisecond)
+	prev := int64(-1)
+	seen := false
+	for {
+		got, err := c.ServerReceived()
+		if err == nil {
+			if seen && got == prev {
+				return got, true
+			}
+			prev, seen = got, true
+		}
+		if time.Now().After(deadline) {
+			return prev, seen
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// failEpoch paces a transiently failed epoch to its nominal duration
+// before returning err. The tuner's outage tolerance
+// (MaxTransientFailures) is counted in consecutive epochs; a refused
+// dial fails in milliseconds, so without pacing N failed epochs burn
+// in well under a second and no real outage could be ridden out.
+// Fatal errors return immediately.
+func (c *Client) failEpoch(runStart time.Time, epoch float64, err error) error {
+	if xfer.IsTransient(err) {
+		time.Sleep(time.Until(runStart.Add(time.Duration(epoch * float64(time.Second)))))
+	}
+	return err
+}
+
+// Run implements xfer.Transferer. The epoch is wall-clock seconds. A
+// transiently failed epoch (server unreachable, stripe below
+// MinStreams) still consumes its epoch of wall time, so the tuner's
+// consecutive-failure budget maps onto outage duration.
 func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	c.mu.Lock()
 	if c.stopped {
@@ -166,12 +343,17 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	}
 
 	// Setup phase — the restart analog: a control handshake plus one
-	// dial per data connection. Its duration is the epoch's DeadTime.
-	setupStart := time.Now()
+	// dial per data connection. Its duration (including retry
+	// backoffs) is the epoch's DeadTime.
+	runStart := time.Now()
+	setupStart := runStart
 	n := p.Streams()
 	_ = run // runs are counted for diagnostics; the token is stable
-	if _, err := c.control(fmt.Sprintf("START %s %d", c.token, n), "OK"); err != nil {
-		return xfer.Report{}, fmt.Errorf("gridftp: start: %w", err)
+	var retries int
+	_, rt, err := c.control(fmt.Sprintf("START %s %d", c.token, n), "OK")
+	retries += rt
+	if err != nil {
+		return xfer.Report{}, c.failEpoch(runStart, epoch, classify(fmt.Errorf("gridftp: start: %w", err)))
 	}
 	conns := make([]net.Conn, 0, n)
 	closeAll := func() {
@@ -179,26 +361,36 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 			conn.Close()
 		}
 	}
+	degraded := 0
+	var lastDialErr error
 	for i := 0; i < n; i++ {
-		conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		conn, rt, err := c.dialData()
+		retries += rt
 		if err != nil {
-			closeAll()
-			return xfer.Report{}, fmt.Errorf("gridftp: data dial %d/%d: %w", i+1, n, err)
-		}
-		if _, err := fmt.Fprintf(conn, "DATA %s\n", c.token); err != nil {
-			conn.Close()
-			closeAll()
-			return xfer.Report{}, fmt.Errorf("gridftp: data header: %w", err)
+			degraded++
+			lastDialErr = err
+			continue
 		}
 		conns = append(conns, conn)
 	}
+	if len(conns) < c.cfg.MinStreams {
+		closeAll()
+		if lastDialErr == nil {
+			// No dial failed: the epoch simply asked for fewer streams
+			// than MinStreams. A configuration error, not an outage.
+			return xfer.Report{}, fmt.Errorf("gridftp: epoch uses %d data connections but MinStreams is %d",
+				n, c.cfg.MinStreams)
+		}
+		return xfer.Report{}, c.failEpoch(runStart, epoch, classify(fmt.Errorf("gridftp: only %d/%d data connections (min %d): %w",
+			len(conns), n, c.cfg.MinStreams, lastDialErr)))
+	}
 	dead := time.Since(setupStart).Seconds()
 
-	// Pump phase.
+	// Pump phase, on the streams that survived setup.
 	deadline := time.Now().Add(time.Duration(epoch * float64(time.Second)))
-	rate := c.cfg.Shaper.perConnRate(n)
+	rate := c.cfg.Shaper.perConnRate(len(conns))
 	var wg sync.WaitGroup
-	sent := make([]int64, n)
+	sent := make([]int64, len(conns))
 	for i, conn := range conns {
 		wg.Add(1)
 		go func(i int, conn net.Conn) {
@@ -210,19 +402,39 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	wg.Wait()
 	closeAll()
 
-	var bytes int64
+	var local int64
 	for _, s := range sent {
-		bytes += s
+		local += s
 	}
+	bytes := float64(local)
+	// Reconcile against receiver truth: the epoch's volume is what the
+	// server counted, not what sits in kernel socket buffers; bytes
+	// written but lost to a reset go back to the budget, late arrivals
+	// from a prior epoch are re-claimed.
+	if total, ok := c.reconcile(); ok {
+		c.mu.Lock()
+		prev := c.acked
+		c.acked = total
+		c.mu.Unlock()
+		if delta := total - prev; delta >= 0 {
+			c.remaining.Add(local - delta)
+			bytes = float64(delta)
+		}
+		// delta < 0 means the server's counter restarted (idle-token
+		// expiry); keep local accounting for this epoch and resync.
+	}
+
 	endWall := time.Since(c.start).Seconds()
 	elapsed := endWall - startWall
 	r := xfer.Report{
-		Params:   p,
-		Start:    startWall,
-		End:      endWall,
-		Bytes:    float64(bytes),
-		DeadTime: dead,
-		Done:     c.remaining.Load() <= 0,
+		Params:          p,
+		Start:           startWall,
+		End:             endWall,
+		Bytes:           bytes,
+		DeadTime:        dead,
+		DegradedStreams: degraded,
+		Retries:         retries,
+		Done:            c.remaining.Load() <= 0,
 	}
 	if elapsed > 0 {
 		r.Throughput = r.Bytes / elapsed

@@ -16,6 +16,9 @@
 //	------ control connection -----------
 //	STAT <token>\n
 //	                               BYTES <n>\n
+//	------ control connection -----------
+//	CLOSE <token>\n                (releases the token's counter)
+//	                               OK\n
 //
 // Each Run call opens a fresh set of nc*np data connections, pumps
 // zeros for one control epoch, and tears them down — mirroring the
@@ -24,14 +27,43 @@
 // per-connection rate limits and a contention penalty that grows with
 // the connection count, recreating on loopback the interior optimum a
 // WAN endpoint exhibits, so the tuners have something real to find.
+//
+// # Error taxonomy and retry semantics
+//
+// Production links fail in two distinct ways, and the client keeps
+// them apart:
+//
+//   - Transient errors — dial timeouts, refused or reset connections,
+//     streams that end unexpectedly — are network weather. Connection
+//     setup retries them per ClientConfig.Retry with exponential,
+//     seeded-jitter backoff. If some data dials still fail after
+//     retries, the epoch runs degraded on the surviving streams
+//     (Report.DegradedStreams counts the missing ones) as long as at
+//     least ClientConfig.MinStreams survive. Only when an epoch cannot
+//     proceed at all does Run fail, and then with an error matching
+//     xfer.ErrTransient so callers (tuner runners) can record a
+//     zero-throughput epoch and keep tuning.
+//   - Fatal errors — protocol violations (ErrProtocol), invalid
+//     parameters, a stopped transfer — are bugs or misuse. They are
+//     never retried and never marked transient.
+//
+// A mid-epoch stream failure is not an error at all: the pump ends
+// that stream, returns its unsent budget, and the epoch reports what
+// the server actually received (Run reconciles its byte count against
+// STAT, so throughput is receiver truth rather than bytes parked in
+// kernel socket buffers).
 package gridftp
 
 import (
 	"errors"
 	"io"
 	"math"
+	"net"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"dstune/internal/xfer"
 )
 
 // chunkSize is the write size of the zero pump, in bytes.
@@ -83,6 +115,39 @@ func (s *Shaper) Optimum() int {
 // ErrProtocol reports a malformed exchange on a control or data
 // connection.
 var ErrProtocol = errors.New("gridftp: protocol error")
+
+// transientNetErr reports whether err is a plausibly transient
+// network failure: timeouts, refused/reset/aborted connections, or
+// streams that ended unexpectedly.
+func transientNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ETIMEDOUT) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// classify marks network-weather errors as xfer.ErrTransient, leaving
+// protocol violations and other fatal errors unmarked.
+func classify(err error) error {
+	if err == nil || errors.Is(err, ErrProtocol) {
+		return err
+	}
+	if transientNetErr(err) {
+		return xfer.Transient(err)
+	}
+	return err
+}
 
 // pump writes zeros to w at the given rate until the deadline, the
 // shared byte budget runs out, or a write fails. It returns the bytes

@@ -1,0 +1,378 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dstune/internal/directsearch"
+	"dstune/internal/faultnet"
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// seqDialer fails exactly the dial numbers (1-based) in fail; other
+// dials pass through to the network.
+type seqDialer struct {
+	mu   sync.Mutex
+	n    int
+	fail map[int]bool
+	// every makes all even-numbered dials fail once when set.
+	everyOther bool
+}
+
+func (d *seqDialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	d.n++
+	n := d.n
+	d.mu.Unlock()
+	if d.fail[n] || (d.everyOther && n%2 == 0) {
+		return nil, fmt.Errorf("seqDialer: injected refusal of dial %d: %w", n, syscall.ECONNREFUSED)
+	}
+	return net.DialTimeout(network, addr, timeout)
+}
+
+func TestDegradedStripeRuns(t *testing.T) {
+	// Dial 1 is the START control connection; dials 2-5 are the four
+	// data connections. Refusing dials 2 and 3 with retries disabled
+	// must degrade the epoch to two streams, not fail it.
+	s := startServer(t)
+	d := &seqDialer{fail: map[int]bool{2: true, 3: true}}
+	c, err := NewClient(ClientConfig{
+		Addr:   s.Addr(),
+		Bytes:  xfer.Unbounded,
+		Shaper: &Shaper{Rate: 4e6},
+		Dialer: d.Dial,
+		Retry:  RetryConfig{Attempts: -1}, // single attempt
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(xfer.Params{NC: 2, NP: 2}, 0.2)
+	if err != nil {
+		t.Fatalf("degraded epoch failed: %v", err)
+	}
+	if r.DegradedStreams != 2 {
+		t.Fatalf("DegradedStreams = %d, want 2", r.DegradedStreams)
+	}
+	if r.Bytes <= 0 {
+		t.Fatalf("degraded epoch moved no bytes: %+v", r)
+	}
+}
+
+func TestRetriesRecoverFailedDials(t *testing.T) {
+	// Every even-numbered dial fails once; with 3 attempts per
+	// connection each stream still comes up, with retries reported.
+	s := startServer(t)
+	d := &seqDialer{everyOther: true}
+	c, err := NewClient(ClientConfig{
+		Addr:   s.Addr(),
+		Bytes:  xfer.Unbounded,
+		Shaper: &Shaper{Rate: 4e6},
+		Dialer: d.Dial,
+		Retry:  RetryConfig{Attempts: 3, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(xfer.Params{NC: 2, NP: 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DegradedStreams != 0 {
+		t.Fatalf("DegradedStreams = %d, want 0 (retries should recover)", r.DegradedStreams)
+	}
+	if r.Retries == 0 {
+		t.Fatal("Retries = 0, want > 0")
+	}
+	if r.Bytes <= 0 {
+		t.Fatalf("no bytes moved: %+v", r)
+	}
+}
+
+func TestAllDialsFailedIsTransient(t *testing.T) {
+	// A server that is gone mid-run must surface as a transient error,
+	// so tuner runners keep the trace alive.
+	s := startServer(t)
+	addr := s.Addr()
+	s.Close()
+	c, err := NewClient(ClientConfig{
+		Addr:        addr,
+		Bytes:       1e6,
+		DialTimeout: 200 * time.Millisecond,
+		Retry:       RetryConfig{Attempts: 2, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(xfer.Params{NC: 1, NP: 1}, 0.1)
+	if err == nil {
+		t.Fatal("run against dead server succeeded")
+	}
+	if !xfer.IsTransient(err) {
+		t.Fatalf("dead-server error not transient: %v", err)
+	}
+}
+
+func TestMinStreamsEnforced(t *testing.T) {
+	// With MinStreams above the surviving stripe width the epoch must
+	// fail transiently rather than run degraded.
+	s := startServer(t)
+	d := &seqDialer{fail: map[int]bool{2: true, 3: true, 4: true}}
+	c, err := NewClient(ClientConfig{
+		Addr:       s.Addr(),
+		Bytes:      xfer.Unbounded,
+		Dialer:     d.Dial,
+		Retry:      RetryConfig{Attempts: -1},
+		MinStreams: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(xfer.Params{NC: 4, NP: 1}, 0.1)
+	if err == nil {
+		t.Fatal("epoch below MinStreams succeeded")
+	}
+	if !xfer.IsTransient(err) {
+		t.Fatalf("partial-stripe error not transient: %v", err)
+	}
+}
+
+func TestMinStreamsAboveStripeWidthIsConfigError(t *testing.T) {
+	// When no dial failed and the epoch simply asks for fewer streams
+	// than MinStreams, the error is a fatal config error — it must not
+	// be transient (it would burn the tuner's outage budget) and must
+	// not render a nil %w verb.
+	s := startServer(t)
+	c, err := NewClient(ClientConfig{
+		Addr:       s.Addr(),
+		Bytes:      xfer.Unbounded,
+		MinStreams: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(xfer.Params{NC: 2, NP: 1}, 0.1)
+	if err == nil {
+		t.Fatal("epoch below MinStreams succeeded")
+	}
+	if xfer.IsTransient(err) {
+		t.Fatalf("config error wrongly transient: %v", err)
+	}
+	if s := err.Error(); strings.Contains(s, "%!w") {
+		t.Fatalf("error message renders a nil wrap verb: %q", s)
+	}
+}
+
+func TestReceiverTruthAccounting(t *testing.T) {
+	// The epoch's Bytes must equal what the server counted, so a
+	// follow-up STAT agrees immediately rather than eventually.
+	s := startServer(t)
+	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 4e6})
+	r, err := c.Run(xfer.Params{NC: 2, NP: 2}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ServerReceived()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(got) != r.Bytes {
+		t.Fatalf("report says %v bytes, server counted %d", r.Bytes, got)
+	}
+}
+
+func TestTunedTransferSurvivesInjectedFaults(t *testing.T) {
+	// Acceptance: a tuned real-socket transfer completes under 20%
+	// injected dial failures plus mid-epoch connection resets, and its
+	// trace stays monotone in time. Deterministic per seed.
+	s := startServer(t)
+	in := faultnet.New(faultnet.Config{
+		Seed:            11,
+		DialFailProb:    0.20,
+		ResetAfterBytes: 256 << 10, // every data conn dies mid-epoch
+	})
+	const size = 4 << 20
+	c, err := NewClient(ClientConfig{
+		Addr:   s.Addr(),
+		Bytes:  size,
+		Dialer: in.Dial,
+		Retry:  RetryConfig{Attempts: 3, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tuner.Config{
+		Epoch:     0.1,
+		Tolerance: 30,
+		Restart:   tuner.FromCurrent,
+		Box:       directsearch.MustBox([]int{1}, []int{8}),
+		Start:     []int{2},
+		Map:       tuner.MapNC(1),
+		Budget:    30,
+		Seed:      5,
+		Lambda:    2,
+	}
+	tr, err := tuner.NewCS(cfg).Tune(c)
+	if err != nil {
+		t.Fatalf("tuned transfer did not survive the faults: %v", err)
+	}
+	if last := tr.Results[len(tr.Results)-1]; !last.Report.Done {
+		t.Fatalf("transfer did not complete: remaining %v after %d epochs",
+			c.Remaining(), len(tr.Results))
+	}
+	if in.Refused() == 0 {
+		t.Fatal("injector refused no dials; the test exercised nothing")
+	}
+	if in.Resets() == 0 {
+		t.Fatal("injector reset no connections; the test exercised nothing")
+	}
+	// Monotone trace: epochs ordered in time, each with End >= Start.
+	prevEnd := 0.0
+	for i, r := range tr.Results {
+		if r.Report.End < r.Report.Start {
+			t.Fatalf("epoch %d runs backwards: start %v end %v", i, r.Report.Start, r.Report.End)
+		}
+		if r.Report.Start < prevEnd {
+			t.Fatalf("epoch %d starts (%v) before epoch %d ended (%v)",
+				i, r.Report.Start, i-1, prevEnd)
+		}
+		prevEnd = r.Report.End
+	}
+	// Receiver truth: the trace's bytes sum to exactly the configured
+	// volume — lost (reset) bytes were re-sent, buffered bytes were
+	// not double-counted. (The server-side counter is gone by now:
+	// Tune's deferred Stop sent CLOSE.)
+	var moved float64
+	for _, r := range tr.Results {
+		moved += r.Report.Bytes
+	}
+	if moved != size {
+		t.Fatalf("trace accounts %v bytes, want %d", moved, size)
+	}
+	if s.Tokens() != 0 {
+		t.Fatalf("Tokens = %d after Stop, want 0", s.Tokens())
+	}
+}
+
+func TestServerCloseUnderConcurrentConnects(t *testing.T) {
+	// Regression for the shutdown race: Close used to sweep s.conns
+	// while just-accepted connections were not yet tracked, leaving
+	// their handlers blocked in serveData and Close deadlocked in
+	// wg.Wait. Hammer the server with connects while closing it.
+	for round := 0; round < 5; round++ {
+		s, err := Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Addr()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.DialTimeout("tcp", addr, time.Second)
+					if err != nil {
+						return
+					}
+					fmt.Fprintf(conn, "DATA race-token\n")
+					conn.Write(make([]byte, 4096))
+					conn.Close()
+				}
+			}()
+		}
+		time.Sleep(20 * time.Millisecond)
+		closed := make(chan error, 1)
+		go func() { closed <- s.Close() }()
+		select {
+		case err := <-closed:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close deadlocked under concurrent connects")
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+func TestStopReleasesServerToken(t *testing.T) {
+	s := startServer(t)
+	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 4e6})
+	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tokens() != 1 {
+		t.Fatalf("Tokens = %d after a run, want 1", s.Tokens())
+	}
+	c.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Tokens() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Tokens = %d after Stop, want 0", s.Tokens())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestIdleTokenExpiry(t *testing.T) {
+	s := startServer(t)
+	s.SetTokenTTL(50 * time.Millisecond)
+	// Register a token the way a client that dies without CLOSE does.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "START ghost 1\n")
+	readLine(bufio.NewReader(conn))
+	conn.Close()
+	if s.Tokens() == 0 {
+		t.Fatal("token not registered")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Tokens() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle token never expired; Tokens = %d", s.Tokens())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCloseCommandProtocol(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "START tokc 1\n")
+	if resp, _ := readLine(br); resp != "OK" {
+		t.Fatalf("START got %q", resp)
+	}
+	fmt.Fprintf(conn, "CLOSE tokc\n")
+	if resp, _ := readLine(br); resp != "OK" {
+		t.Fatalf("CLOSE got %q", resp)
+	}
+	if s.Tokens() != 0 {
+		t.Fatalf("Tokens = %d after CLOSE, want 0", s.Tokens())
+	}
+	fmt.Fprintf(conn, "CLOSE\n")
+	if resp, _ := readLine(br); resp != "ERR bad CLOSE" {
+		t.Fatalf("bad CLOSE got %q", resp)
+	}
+}

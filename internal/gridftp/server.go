@@ -14,15 +14,34 @@ import (
 // maxLineLen bounds protocol header lines.
 const maxLineLen = 256
 
+// defaultTokenTTL is the idle expiry for token counters: a token that
+// sees no data and no STAT for this long is released, so long-lived
+// servers don't accumulate counters from clients that never sent
+// CLOSE.
+const defaultTokenTTL = 5 * time.Minute
+
+// tokenCounter tracks one transfer token's received bytes and its
+// last activity, for idle expiry.
+type tokenCounter struct {
+	n          atomic.Int64
+	lastActive atomic.Int64 // unix nanos
+}
+
+// touch records activity on the token.
+func (tc *tokenCounter) touch() { tc.lastActive.Store(time.Now().UnixNano()) }
+
 // Server is the receiving end: it accepts control and data
 // connections, discards transferred bytes, and counts them per token.
 type Server struct {
 	ln     net.Listener
 	logf   func(format string, args ...any)
 	closed atomic.Bool
+	done   chan struct{}
+
+	tokenTTL atomic.Int64 // nanoseconds; <= 0 disables expiry
 
 	mu       sync.Mutex
-	received map[string]*atomic.Int64
+	received map[string]*tokenCounter
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 }
@@ -34,15 +53,25 @@ func Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ServeListener(ln), nil
+}
+
+// ServeListener starts a server accepting on a caller-supplied
+// listener — the hook for wrapped listeners such as
+// faultnet.Injector.Listen. Close closes ln.
+func ServeListener(ln net.Listener) *Server {
 	s := &Server{
 		ln:       ln,
 		logf:     func(string, ...any) {},
-		received: make(map[string]*atomic.Int64),
+		done:     make(chan struct{}),
+		received: make(map[string]*tokenCounter),
 		conns:    make(map[net.Conn]struct{}),
 	}
-	s.wg.Add(1)
+	s.tokenTTL.Store(int64(defaultTokenTTL))
+	s.wg.Add(2)
 	go s.acceptLoop()
-	return s, nil
+	go s.janitor()
+	return s
 }
 
 // SetLogger installs a diagnostic logger (e.g. log.Printf). The
@@ -54,6 +83,10 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 	s.logf = logf
 }
 
+// SetTokenTTL sets the idle expiry for token counters; non-positive
+// disables expiry. The default is 5 minutes.
+func (s *Server) SetTokenTTL(d time.Duration) { s.tokenTTL.Store(int64(d)) }
+
 // Addr returns the server's listen address, for clients to dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -63,6 +96,7 @@ func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	close(s.done)
 	err := s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {
@@ -76,31 +110,84 @@ func (s *Server) Close() error {
 // Received returns the bytes received so far for token.
 func (s *Server) Received(token string) int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.received[token]; ok {
-		return c.Load()
+	tc, ok := s.received[token]
+	s.mu.Unlock()
+	if !ok {
+		return 0
 	}
-	return 0
+	tc.touch()
+	return tc.n.Load()
+}
+
+// Tokens returns the number of live token counters.
+func (s *Server) Tokens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.received)
 }
 
 // counter returns (creating if needed) the byte counter for token.
-func (s *Server) counter(token string) *atomic.Int64 {
+func (s *Server) counter(token string) *tokenCounter {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.received[token]
+	tc, ok := s.received[token]
 	if !ok {
-		c = new(atomic.Int64)
-		s.received[token] = c
+		tc = new(tokenCounter)
+		s.received[token] = tc
 	}
-	return c
+	s.mu.Unlock()
+	tc.touch()
+	return tc
+}
+
+// dropToken releases token's counter (the CLOSE command).
+func (s *Server) dropToken(token string) {
+	s.mu.Lock()
+	delete(s.received, token)
+	s.mu.Unlock()
+}
+
+// expireTokens drops counters idle for longer than the TTL.
+func (s *Server) expireTokens(now time.Time) {
+	ttl := time.Duration(s.tokenTTL.Load())
+	if ttl <= 0 {
+		return
+	}
+	cutoff := now.Add(-ttl).UnixNano()
+	s.mu.Lock()
+	for tok, tc := range s.received {
+		if tc.lastActive.Load() < cutoff {
+			delete(s.received, tok)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// janitor periodically expires idle token counters until Close.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.expireTokens(time.Now())
+		}
+	}
 }
 
 // track registers a live connection for shutdown; the returned func
-// unregisters it.
+// unregisters it. Registration must happen before the connection's
+// handler starts: if it raced with Close, the connection is closed
+// here so the handler cannot block a Close that already swept conns.
 func (s *Server) track(c net.Conn) func() {
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
+	if s.closed.Load() {
+		c.Close()
+	}
 	return func() {
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -108,7 +195,8 @@ func (s *Server) track(c net.Conn) func() {
 	}
 }
 
-// acceptLoop accepts connections until the listener closes.
+// acceptLoop accepts connections until the listener closes. Each
+// connection is tracked before its handler is spawned (see track).
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -119,19 +207,20 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		untrack := s.track(conn)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer untrack()
 			s.handle(conn)
 		}()
 	}
 }
 
-// handle serves one connection: the first line selects control (START
-// or STAT) or data (DATA) mode.
+// handle serves one connection: the first line selects control (START,
+// STAT, or CLOSE) or data (DATA) mode.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	defer s.track(conn)()
 	br := bufio.NewReaderSize(conn, 32<<10)
 
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -153,7 +242,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.serveData(br, fields[1])
-	case "START", "STAT":
+	case "START", "STAT", "CLOSE":
 		s.serveControl(conn, br, fields)
 	default:
 		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
@@ -163,11 +252,12 @@ func (s *Server) handle(conn net.Conn) {
 // serveData discards the connection's byte stream into the token's
 // counter. The buffered reader may already hold payload bytes.
 func (s *Server) serveData(br *bufio.Reader, token string) {
-	c := s.counter(token)
+	tc := s.counter(token)
 	buf := make([]byte, chunkSize)
 	for {
 		n, err := br.Read(buf)
-		c.Add(int64(n))
+		tc.n.Add(int64(n))
+		tc.touch()
 		if err != nil {
 			return
 		}
@@ -200,6 +290,13 @@ func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
 				return
 			}
 			fmt.Fprintf(conn, "BYTES %d\n", s.Received(fields[1]))
+		case "CLOSE":
+			if len(fields) != 2 {
+				fmt.Fprintf(conn, "ERR bad CLOSE\n")
+				return
+			}
+			s.dropToken(fields[1])
+			fmt.Fprintf(conn, "OK\n")
 		default:
 			fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
 			return

@@ -44,12 +44,8 @@ func (c JointConfig) withDefaults() JointConfig {
 	if c.Epoch == 0 {
 		c.Epoch = 30
 	}
-	if c.Tolerance == 0 {
-		c.Tolerance = 5
-	}
-	if c.Lambda == 0 {
-		c.Lambda = 8
-	}
+	c.Tolerance = resolveSentinel(c.Tolerance, 5)
+	c.Lambda = resolveSentinel(c.Lambda, 8)
 	if c.Weights == nil {
 		c.Weights = make([]float64, len(c.Dims))
 		for i := range c.Weights {

@@ -16,10 +16,21 @@ package tuner
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dstune/internal/directsearch"
 	"dstune/internal/trace"
 	"dstune/internal/xfer"
+)
+
+// NoTolerance and NoLambda make an explicit zero configurable where
+// the zero value would select the paper's default: assign
+// Config.Tolerance = NoTolerance for an exact ε = 0 monitor (every
+// change is significant) and Config.Lambda = NoLambda for a zero
+// initial step. They are NaN sentinels, resolved by withDefaults.
+var (
+	NoTolerance = math.NaN()
+	NoLambda    = math.NaN()
 )
 
 // ParamMap converts a tuned integer vector into transfer parameters.
@@ -63,10 +74,10 @@ type Config struct {
 	// the paper's 30 s.
 	Epoch float64
 	// Tolerance is the significance threshold ε in percent; zero
-	// selects the paper's 5%.
+	// selects the paper's 5%, NoTolerance selects an exact 0.
 	Tolerance float64
 	// Lambda is cs-tuner's initial step size; zero selects the
-	// paper's 8.
+	// paper's 8, NoLambda selects an exact 0.
 	Lambda float64
 	// NM carries nm-tuner's coefficients; zeros select the customary
 	// R=1, E=2, C=0.5, S=0.5.
@@ -101,6 +112,24 @@ type Config struct {
 	// re-triggering the ε-monitor. Observing the best-case rate
 	// removes the artifact.
 	ObserveBestCase bool
+	// MaxTransientFailures is the number of consecutive transient
+	// epoch failures (errors matching xfer.ErrTransient) the tuners
+	// tolerate before aborting. Each tolerated failure is recorded as
+	// a zero-throughput epoch, so the ε-monitor naturally re-triggers
+	// a search once the transfer recovers. Zero selects 3.
+	MaxTransientFailures int
+}
+
+// resolveSentinel maps the zero value to def and the NaN sentinel
+// (NoTolerance / NoLambda) to an exact zero.
+func resolveSentinel(v, def float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -108,14 +137,13 @@ func (c Config) withDefaults() Config {
 	if c.Epoch == 0 {
 		c.Epoch = 30
 	}
-	if c.Tolerance == 0 {
-		c.Tolerance = 5
-	}
-	if c.Lambda == 0 {
-		c.Lambda = 8
-	}
+	c.Tolerance = resolveSentinel(c.Tolerance, 5)
+	c.Lambda = resolveSentinel(c.Lambda, 8)
 	if c.StallEpochs == 0 {
 		c.StallEpochs = 3
+	}
+	if c.MaxTransientFailures == 0 {
+		c.MaxTransientFailures = 3
 	}
 	return c
 }
@@ -131,7 +159,7 @@ func (c Config) Validate() error {
 	if c.Map == nil {
 		return errors.New("tuner: Map is required")
 	}
-	if c.Epoch < 0 || c.Tolerance < 0 || c.Lambda < 0 || c.Budget < 0 {
+	if c.Epoch < 0 || c.Tolerance < 0 || c.Lambda < 0 || c.Budget < 0 || c.MaxTransientFailures < 0 {
 		return errors.New("tuner: negative parameter")
 	}
 	return nil
@@ -289,6 +317,8 @@ type runner struct {
 	cfg Config
 	t   xfer.Transferer
 	tr  *Trace
+	// transients counts consecutive transient epoch failures.
+	transients int
 }
 
 // newRunner validates cfg and prepares a run against t.
@@ -312,11 +342,29 @@ func (r *runner) spent() bool {
 
 // run executes one control epoch with vector x and records it. The
 // bool result reports whether tuning should stop.
+//
+// A transient failure (xfer.ErrTransient) does not abort the trace:
+// up to MaxTransientFailures-1 consecutive failures are each recorded
+// as a zero-throughput epoch and tuning continues — the zero reading
+// trips the ε-monitor, so the search re-engages once the transfer
+// recovers. The MaxTransientFailures-th consecutive failure, and any
+// fatal error, stops tuning with the error.
 func (r *runner) run(x []int) (xfer.Report, bool, error) {
-	rep, err := r.t.Run(r.cfg.Map(x), r.cfg.Epoch)
+	p := r.cfg.Map(x)
+	start := r.t.Now()
+	rep, err := r.t.Run(p, r.cfg.Epoch)
 	if err != nil {
+		if xfer.IsTransient(err) {
+			r.transients++
+			if r.transients < r.cfg.MaxTransientFailures {
+				rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
+				r.tr.add(x, rep)
+				return rep, r.spent(), nil
+			}
+		}
 		return rep, true, err
 	}
+	r.transients = 0
 	r.tr.add(x, rep)
 	return rep, rep.Done || r.spent(), nil
 }

@@ -86,6 +86,14 @@ type Report struct {
 	// Files counts the files completed during the epoch (disk-to-disk
 	// transfers only; zero for memory-to-memory).
 	Files int
+	// DegradedStreams counts planned data connections that could not
+	// be established after retries, so the epoch ran with
+	// Params.Streams()-DegradedStreams streams (real-socket transfers
+	// only; zero means the full stripe width ran).
+	DegradedStreams int
+	// Retries counts the connection attempts beyond the first that the
+	// epoch needed (real-socket transfers only).
+	Retries int
 	// Done reports that the transfer completed during this epoch.
 	Done bool
 }
@@ -107,6 +115,33 @@ type Transferer interface {
 	// error.
 	Stop()
 }
+
+// ErrTransient marks a transfer error as transient: the epoch failed
+// for a reason that may clear on its own (dial timeout, connection
+// reset, a partially failed stripe), so the caller may retry or record
+// a zero-throughput epoch and keep tuning. Fatal errors — protocol
+// violations, bad parameters, a stopped transfer — do not carry this
+// mark. Test with IsTransient.
+var ErrTransient = errors.New("xfer: transient transfer error")
+
+// transientError wraps an error so that it matches both ErrTransient
+// and the original cause.
+type transientError struct{ err error }
+
+func (e transientError) Error() string   { return e.err.Error() }
+func (e transientError) Unwrap() []error { return []error{ErrTransient, e.err} }
+
+// Transient marks err as transient. It returns nil for nil and leaves
+// already-transient errors unchanged.
+func Transient(err error) error {
+	if err == nil || errors.Is(err, ErrTransient) {
+		return err
+	}
+	return transientError{err}
+}
+
+// IsTransient reports whether err is marked transient.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // ErrStopped is returned by Run after Stop has been called.
 var ErrStopped = errors.New("xfer: transfer stopped")
