@@ -7,6 +7,7 @@
 package dstune_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -337,7 +338,7 @@ func BenchmarkAblationPipelining(b *testing.B) {
 					Start:  []int{8, 4, pp},
 					Map:    dstune.MapNCNPPP(),
 					Budget: 600,
-				}).Tune(tr)
+				}).Tune(context.Background(), tr)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -392,7 +393,7 @@ func runCustomCSObserve(b *testing.B, restart dstune.RestartPolicy, observeBest 
 		Budget:          1800,
 		Seed:            15,
 		ObserveBestCase: observeBest,
-	}).Tune(tr)
+	}).Tune(context.Background(), tr)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func runCustomCS(b *testing.B, tolerance, lambda float64, restart dstune.Restart
 		Map:       dstune.MapNC(8),
 		Budget:    1800,
 		Seed:      15,
-	}).Tune(tr)
+	}).Tune(context.Background(), tr)
 	if err != nil {
 		b.Fatal(err)
 	}

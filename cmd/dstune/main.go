@@ -15,13 +15,28 @@
 //
 // The tuner is one of: default, cd-tuner, cs-tuner, nm-tuner, heur1,
 // heur2.
+//
+// Long socket-mode runs survive interruption: -checkpoint FILE writes
+// the run's durable state after every control epoch, SIGINT/SIGTERM
+// drains the in-flight epoch and exits cleanly (a second signal
+// aborts hard), -deadline bounds the whole run, and -resume FILE
+// continues a checkpointed run mid-search with exact byte accounting:
+//
+//	dstune -mode socket -addr 127.0.0.1:7632 -tuner cs-tuner \
+//	       -bytes 5e9 -checkpoint run.ck
+//	^C
+//	dstune -mode socket -addr 127.0.0.1:7632 -resume run.ck
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dstune"
 )
@@ -41,6 +56,9 @@ func main() {
 	maxNP := flag.Int("max-np", 16, "parallelism upper bound")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "write the trace series to this CSV file")
+	checkpointPath := flag.String("checkpoint", "", "write a checkpoint to this file after every epoch")
+	resumePath := flag.String("resume", "", "resume a checkpointed run from this file (socket mode)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole run; 0 = none")
 
 	// Simulation-mode flags.
 	testbed := flag.String("testbed", "uchicago", "uchicago or tacc")
@@ -67,6 +85,28 @@ func main() {
 	diskRate := flag.Float64("disk-rate", 2e9, "source storage bandwidth in bytes/s (disk mode)")
 	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
 	flag.Parse()
+
+	// A resumed run adopts the checkpoint's tuner and seed and rebuilds
+	// the transfer from its recorded state; only socket-mode transfers
+	// outlive the process that started them.
+	var resume *dstune.Checkpoint
+	if *resumePath != "" {
+		if *mode != "socket" {
+			log.Fatal("-resume requires -mode socket: simulated transfers live and die with the process")
+		}
+		var err error
+		resume, err = dstune.LoadCheckpoint(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*name = resume.Tuner
+		*seed = resume.Seed
+		if *checkpointPath == "" {
+			*checkpointPath = *resumePath
+		}
+		log.Printf("resuming %s from %s: %d epochs, %.0f bytes acked, clock %.1fs",
+			resume.Tuner, *resumePath, resume.Epochs, resume.Transfer.Acked, resume.Transfer.Clock)
+	}
 
 	var transfer dstune.Transferer
 	var err error
@@ -108,12 +148,23 @@ func main() {
 		if *shapeRate > 0 {
 			shaper = &dstune.Shaper{Rate: *shapeRate, Quad: *shapeQuad}
 		}
-		transfer, err = dstune.NewTransferClient(dstune.TransferClientConfig{
+		ccfg := dstune.TransferClientConfig{
 			Addr: *addr, Bytes: size, Shaper: shaper,
 			Retry:      dstune.RetryConfig{Attempts: *retries, Backoff: *retryBackoff},
 			MinStreams: *minStreams,
 			Seed:       *seed,
-		})
+		}
+		if resume != nil {
+			if resume.Transfer.Total >= 0 {
+				ccfg.Bytes = resume.Transfer.Total
+			} else {
+				ccfg.Bytes = dstune.Unbounded
+			}
+			ccfg.Token = resume.Transfer.Token
+			ccfg.AckedBytes = resume.Transfer.Acked
+			ccfg.ClockOffset = resume.Transfer.Clock
+		}
+		transfer, err = dstune.NewTransferClient(ccfg)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -121,12 +172,41 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Interrupt handling: the first SIGINT/SIGTERM drains — the
+	// in-flight epoch finishes, the checkpoint is written, and Tune
+	// returns cleanly; a second signal cancels the context, aborting
+	// the epoch immediately. -deadline bounds the run the hard way.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	drain := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("interrupt: draining the in-flight epoch (interrupt again to abort)")
+		close(drain)
+		<-sigCh
+		log.Print("second interrupt: aborting")
+		cancel()
+	}()
+
 	cfg := dstune.TunerConfig{
 		Epoch:                *epoch,
 		Tolerance:            *tolerance,
 		Budget:               *duration,
 		Seed:                 *seed,
 		MaxTransientFailures: *maxTransient,
+		Resume:               resume,
+		Drain:                drain,
+	}
+	if *checkpointPath != "" {
+		cfg.Checkpoint = dstune.NewFileCheckpoint(*checkpointPath)
 	}
 	switch {
 	case disk:
@@ -147,8 +227,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	trace, err := tn.Tune(transfer)
-	if err != nil {
+	trace, err := tn.Tune(ctx, transfer)
+	switch {
+	case err == nil:
+	case errors.Is(err, dstune.ErrInterrupted),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		if *checkpointPath != "" {
+			log.Printf("stopped (%v) after %d epochs; checkpoint in %s — resume with -resume %s",
+				err, len(trace.Results), *checkpointPath, *checkpointPath)
+		} else {
+			log.Printf("stopped (%v) after %d epochs", err, len(trace.Results))
+		}
+	default:
 		log.Fatal(err)
 	}
 	printTrace(trace)

@@ -35,8 +35,14 @@
 //		Map:    dstune.MapNC(8),
 //		Budget: 1800,
 //	}
-//	trace, err := dstune.NewNM(cfg).Tune(tr)
+//	trace, err := dstune.NewNM(cfg).Tune(context.Background(), tr)
 //	// trace.MeanThroughput(), trace.Param(0), ...
+//
+// Tuned runs are interruptible and durable: cancelling the Tune
+// context aborts the in-flight epoch promptly, TunerConfig.Drain
+// stops cleanly at the next epoch boundary, TunerConfig.Checkpoint
+// persists the run's state after every epoch, and TunerConfig.Resume
+// continues a checkpointed run mid-search (see Checkpoint).
 //
 // The experiment harnesses that regenerate every figure of the paper
 // live behind Fig1, TuneConcurrency, TuneBoth, CompareHeuristics, and
@@ -118,6 +124,9 @@ type (
 	// RestartPolicy controls when a simulated transfer pays process
 	// restart dead time.
 	RestartPolicy = xfer.RestartPolicy
+	// TransferState is the durable state of a transfer captured for
+	// checkpointing (acked/remaining bytes, cumulative clock, token).
+	TransferState = xfer.TransferState
 )
 
 // Restart policies.
@@ -350,6 +359,37 @@ var (
 	NoTolerance = tuner.NoTolerance
 	NoLambda    = tuner.NoLambda
 )
+
+// Checkpoint and resume.
+type (
+	// Checkpoint is the durable state of a tuned transfer, written
+	// after every control epoch; assign one to TunerConfig.Resume to
+	// continue the run mid-search.
+	Checkpoint = tuner.Checkpoint
+	// CheckpointEpoch is one recorded control epoch of a Checkpoint.
+	CheckpointEpoch = tuner.EpochRecord
+	// CheckpointWriter persists checkpoints; assign one to
+	// TunerConfig.Checkpoint.
+	CheckpointWriter = tuner.CheckpointWriter
+	// CheckpointFunc adapts a function to CheckpointWriter.
+	CheckpointFunc = tuner.CheckpointFunc
+	// FileCheckpoint is a CheckpointWriter targeting a file, written
+	// atomically (temp file + rename) on every save.
+	FileCheckpoint = tuner.FileCheckpoint
+)
+
+// NewFileCheckpoint returns a checkpoint writer targeting path.
+func NewFileCheckpoint(path string) *FileCheckpoint { return tuner.NewFileCheckpoint(path) }
+
+// LoadCheckpoint reads and validates a checkpoint file written by a
+// FileCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return tuner.LoadCheckpoint(path) }
+
+// ErrInterrupted is returned by Tune when the run was stopped
+// gracefully by the TunerConfig.Drain channel: the in-flight epoch
+// completed, the final checkpoint was written, and the transfer was
+// left running so a later session can resume it.
+var ErrInterrupted = tuner.ErrInterrupted
 
 // Experiments (the paper's evaluation).
 type (

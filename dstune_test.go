@@ -2,6 +2,7 @@ package dstune_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		Start:  []int{2},
 		Map:    dstune.MapNC(4),
 		Budget: 300,
-	}).Tune(tr)
+	}).Tune(context.Background(), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestCustomFabricViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := tr.Run(dstune.Params{NC: 4, NP: 2}, 10)
+	r, err := tr.Run(context.Background(), dstune.Params{NC: 4, NP: 2}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestSocketFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Stop()
-	r, err := client.Run(dstune.Params{NC: 2, NP: 1}, 0.2)
+	r, err := client.Run(context.Background(), dstune.Params{NC: 2, NP: 1}, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 			Start:  []int{2, 8},
 			Map:    dstune.MapNCNP(), // tune both parameters
 			Budget: 1800,
-		}).Tune(tr)
+		}).Tune(context.Background(), tr)
 		if err != nil {
 			log.Fatal(err)
 		}

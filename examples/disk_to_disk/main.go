@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 			Start:  start,
 			Map:    dstune.MapNCNPPP(),
 			Budget: 1800,
-		}).Tune(tr)
+		}).Tune(context.Background(), tr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 		Weights: []float64{3, 1}, // UChicago has priority
 		Budget:  1800,
 	})
-	traces, err := joint.Tune([]dstune.Transferer{t1, t2})
+	traces, err := joint.Tune(context.Background(), []dstune.Transferer{t1, t2})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 		Map:       dstune.MapNC(1),
 		Budget:    10, // wall-clock seconds total
 		Seed:      1,
-	}).Tune(client)
+	}).Tune(context.Background(), client)
 	if err != nil {
 		log.Fatal(err)
 	}

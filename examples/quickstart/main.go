@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 			Map:    dstune.MapNC(8), // tune concurrency, parallelism fixed at 8
 			Budget: 900,             // seconds of (virtual) transfer time
 		}
-		trace, err := mk(cfg).Tune(tr)
+		trace, err := mk(cfg).Tune(context.Background(), tr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -153,5 +153,37 @@ func (c *Compass) Observe(f float64) {
 // Best implements Searcher.
 func (c *Compass) Best() ([]int, float64) { return clone(c.best.x), c.best.f }
 
+// CompassState is a JSON-friendly snapshot of a compass search's
+// position: the current step size, incumbent, and remaining polling
+// queue. It is diagnostic state recorded in checkpoints; resumption
+// reconstructs the search by deterministic replay rather than by
+// loading it.
+type CompassState struct {
+	Kind       string  `json:"kind"`
+	Lambda     float64 `json:"lambda"`
+	Incumbent  []int   `json:"incumbent,omitempty"`
+	FIncumbent float64 `json:"f_incumbent"`
+	Queue      [][]int `json:"queue,omitempty"`
+	Evals      int     `json:"evals"`
+	Done       bool    `json:"done"`
+}
+
+// Snapshot captures the search's current state.
+func (c *Compass) Snapshot() CompassState {
+	queue := make([][]int, len(c.queue))
+	for i, q := range c.queue {
+		queue[i] = clone(q)
+	}
+	return CompassState{
+		Kind:       "compass",
+		Lambda:     c.lambda,
+		Incumbent:  clone(c.incumbent),
+		FIncumbent: c.fIncumbent,
+		Queue:      queue,
+		Evals:      c.evals,
+		Done:       c.done,
+	}
+}
+
 // Incumbent returns the current incumbent point and value.
 func (c *Compass) Incumbent() ([]int, float64) { return clone(c.incumbent), c.fIncumbent }

@@ -293,3 +293,34 @@ func (nm *NelderMead) Observe(f float64) {
 
 // Best implements Searcher.
 func (nm *NelderMead) Best() ([]int, float64) { return clone(nm.best.x), nm.best.f }
+
+// NMVertex is one simplex vertex of an NMState.
+type NMVertex struct {
+	X []int   `json:"x"`
+	F float64 `json:"f"`
+}
+
+// NMState is a JSON-friendly snapshot of a Nelder–Mead search: the
+// phase and the full simplex. It is diagnostic state recorded in
+// checkpoints; resumption reconstructs the search by deterministic
+// replay rather than by loading it.
+type NMState struct {
+	Kind    string     `json:"kind"`
+	Phase   string     `json:"phase"`
+	Simplex []NMVertex `json:"simplex"`
+	Evals   int        `json:"evals"`
+}
+
+// Snapshot captures the search's current state.
+func (nm *NelderMead) Snapshot() NMState {
+	simplex := make([]NMVertex, len(nm.verts))
+	for i, v := range nm.verts {
+		simplex[i] = NMVertex{X: clone(v.x), F: v.f}
+	}
+	return NMState{
+		Kind:    "nelder-mead",
+		Phase:   nm.Phase(),
+		Simplex: simplex,
+		Evals:   nm.evals,
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"dstune/internal/dataset"
@@ -107,7 +108,7 @@ func TuneDisk(tb Testbed, sc DiskScenario, rc RunConfig) (*TuningResult, error) 
 		case "nm-tuner":
 			tn = tuner.NewNM(cfg)
 		}
-		trace, err := tn.Tune(tr)
+		trace, err := tn.Tune(context.Background(), tr)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", name, sc.Name, err)
 		}

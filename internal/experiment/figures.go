@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -133,7 +134,7 @@ func runTuned(tb Testbed, name string, sched load.Schedule, rc RunConfig, twoPar
 	if err != nil {
 		return nil, err
 	}
-	return tn.Tune(tr)
+	return tn.Tune(context.Background(), tr)
 }
 
 // Fig1Config parameterizes the Figure 1 concurrency sweep.
@@ -216,7 +217,7 @@ func Fig1(tb Testbed, cfg Fig1Config) (*Fig1Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				rep, err := tr.Run(xfer.Params{NC: nc, NP: 1}, cfg.Duration)
+				rep, err := tr.Run(context.Background(), xfer.Params{NC: nc, NP: 1}, cfg.Duration)
 				tr.Stop()
 				if err != nil {
 					return nil, err
@@ -355,8 +356,8 @@ func Simultaneous(name string, rc RunConfig) (*SimultaneousResult, error) {
 	var tr1, tr2 *tuner.Trace
 	var err1, err2 error
 	wg.Add(2)
-	go func() { defer wg.Done(); tr1, err1 = tn1.Tune(t1) }()
-	go func() { defer wg.Done(); tr2, err2 = tn2.Tune(t2) }()
+	go func() { defer wg.Done(); tr1, err1 = tn1.Tune(context.Background(), t1) }()
+	go func() { defer wg.Done(); tr2, err2 = tn2.Tune(context.Background(), t2) }()
 	wg.Wait()
 	if err1 != nil {
 		return nil, err1

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"dstune/internal/directsearch"
@@ -66,7 +67,7 @@ func JointVsIndependent(rc RunConfig) (*JointComparison, error) {
 		Dims:  []int{2, 2},
 		Maps:  []tuner.ParamMap{tuner.MapNCNP(), tuner.MapNCNP()},
 	})
-	traces, err := j.Tune([]xfer.Transferer{t1, t2})
+	traces, err := j.Tune(context.Background(), []xfer.Transferer{t1, t2})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"dstune/internal/load"
@@ -22,10 +23,10 @@ func steady(t *testing.T, tb Testbed, l load.Load, p xfer.Params, warm, dur floa
 		t.Fatal(err)
 	}
 	defer tr.Stop()
-	if _, err := tr.Run(p, warm); err != nil {
+	if _, err := tr.Run(context.Background(), p, warm); err != nil {
 		t.Fatal(err)
 	}
-	r, err := tr.Run(p, dur)
+	r, err := tr.Run(context.Background(), p, dur)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package gridftp
 
 import (
+	"context"
 	"testing"
 
 	"dstune/internal/xfer"
@@ -23,7 +24,7 @@ func BenchmarkLoopbackThroughput(b *testing.B) {
 	var bytes, secs float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := c.Run(xfer.Params{NC: 4, NP: 1}, 0.2)
+		r, err := c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.2)
 		if err != nil {
 			b.Fatal(err)
 		}

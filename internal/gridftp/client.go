@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -74,6 +75,16 @@ type ClientConfig struct {
 	MinStreams int
 	// Seed drives the backoff jitter, deterministic per seed.
 	Seed uint64
+	// AckedBytes seeds the receiver-confirmed byte count when resuming
+	// a checkpointed transfer: the server has already received this
+	// many bytes for Token, so Bytes-AckedBytes remain to send.
+	// Requires an explicit Token (the server-side counter must be the
+	// same one the original session fed).
+	AckedBytes float64
+	// ClockOffset advances the transfer clock when resuming: Now
+	// reports ClockOffset plus the wall time since the first Run, so a
+	// tuning Budget counts cumulative transfer time across sessions.
+	ClockOffset float64
 }
 
 // clientSeq disambiguates generated tokens within a process.
@@ -95,6 +106,10 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// stopCh is closed by Stop so an in-flight Run — including its
+	// retry backoffs and failed-epoch pacing — aborts promptly.
+	stopCh chan struct{}
+
 	mu        sync.Mutex
 	remaining atomic.Int64
 	start     time.Time
@@ -113,6 +128,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Bytes <= 0 {
 		return nil, fmt.Errorf("gridftp: transfer size must be positive, got %v", cfg.Bytes)
 	}
+	if cfg.AckedBytes < 0 || cfg.AckedBytes > cfg.Bytes {
+		return nil, fmt.Errorf("gridftp: acked bytes %v outside [0, %v]", cfg.AckedBytes, cfg.Bytes)
+	}
+	if cfg.AckedBytes > 0 && cfg.Token == "" {
+		return nil, fmt.Errorf("gridftp: resuming a transfer (AckedBytes > 0) requires its token")
+	}
+	if cfg.ClockOffset < 0 {
+		return nil, fmt.Errorf("gridftp: negative clock offset %v", cfg.ClockOffset)
+	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
@@ -127,14 +151,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.MinStreams = 1
 	}
 	c := &Client{
-		cfg:   cfg,
-		token: cfg.Token,
-		rng:   rand.New(rand.NewSource(int64(cfg.Seed))),
+		cfg:    cfg,
+		token:  cfg.Token,
+		rng:    rand.New(rand.NewSource(int64(cfg.Seed))),
+		stopCh: make(chan struct{}),
 	}
+	c.acked = int64(cfg.AckedBytes)
 	if cfg.Bytes >= float64(int64(1)<<62) {
 		c.remaining.Store(int64(1) << 62)
 	} else {
-		c.remaining.Store(int64(cfg.Bytes))
+		c.remaining.Store(int64(cfg.Bytes - cfg.AckedBytes))
 	}
 	return c, nil
 }
@@ -151,30 +177,102 @@ func (c *Client) Remaining() float64 {
 	return float64(r)
 }
 
-// Now implements xfer.Transferer: wall-clock seconds since the first
-// Run.
+// Now implements xfer.Transferer: the configured clock offset plus
+// wall-clock seconds since the first Run.
 func (c *Client) Now() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.started {
-		return 0
+		return c.cfg.ClockOffset
 	}
-	return time.Since(c.start).Seconds()
+	return c.cfg.ClockOffset + time.Since(c.start).Seconds()
 }
 
-// Stop implements xfer.Transferer. It also releases the transfer's
-// token counter on the server (a best-effort CLOSE exchange), so
-// long-lived servers don't accumulate dead counters.
+// Snapshot implements xfer.Snapshotter: the receiver-confirmed byte
+// count, the sender's remaining budget, and the cumulative clock. A
+// later session resumes the transfer with a client built from
+// ClientConfig{Bytes: Total, Token: Token, AckedBytes: Acked,
+// ClockOffset: Clock} — as long as the transfer was not stopped, so
+// the server still holds the token's counter.
+func (c *Client) Snapshot() xfer.TransferState {
+	unbounded := c.cfg.Bytes >= float64(int64(1)<<62)
+	s := xfer.TransferState{
+		Total: c.cfg.Bytes,
+		Clock: c.Now(),
+		Token: c.token,
+	}
+	c.mu.Lock()
+	s.Acked = float64(c.acked)
+	c.mu.Unlock()
+	if unbounded {
+		s.Total = -1
+		s.Remaining = -1
+		return s
+	}
+	s.Remaining = c.Remaining()
+	return s
+}
+
+// Stop implements xfer.Transferer. It aborts an in-flight Run —
+// including its retry backoffs and failed-epoch pacing — and releases
+// the transfer's token counter on the server (a best-effort CLOSE
+// exchange), so long-lived servers don't accumulate dead counters.
 func (c *Client) Stop() {
 	c.mu.Lock()
 	already := c.stopped
 	c.stopped = true
 	started := c.started
 	c.mu.Unlock()
-	if already || !started {
+	if already {
 		return
 	}
-	c.control("CLOSE "+c.token, "OK")
+	close(c.stopCh)
+	if !started {
+		return
+	}
+	// Best-effort CLOSE. control would abort its retry backoffs
+	// immediately now that stopCh is closed, so retry the exchange
+	// directly — bounded by the configured attempts and backoff.
+	for k := 0; k < c.cfg.Retry.Attempts; k++ {
+		if k > 0 {
+			time.Sleep(c.backoff(k))
+		}
+		if _, err := c.controlOnce("CLOSE "+c.token, "OK"); err == nil || !transientNetErr(err) {
+			return
+		}
+	}
+}
+
+// sleep waits for d; it returns false without waiting out the full
+// delay when ctx is cancelled or the client is stopped.
+func (c *Client) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-c.stopCh:
+		return false
+	}
+}
+
+// interrupted returns the governing interrupt error, if any: the
+// context's error, or xfer.ErrStopped after Stop.
+func (c *Client) interrupted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case <-c.stopCh:
+		return xfer.ErrStopped
+	default:
+		return nil
+	}
 }
 
 // backoff returns the jittered sleep before retry k (1-based): the
@@ -196,12 +294,16 @@ func (c *Client) backoff(k int) time.Duration {
 
 // control dials the server's control port and performs one
 // command/response exchange, retrying transient failures per the
-// retry config. It returns the response and the retries spent.
-func (c *Client) control(cmd, wantPrefix string) (resp string, retries int, err error) {
+// retry config. It returns the response and the retries spent. A
+// backoff wait aborts early when ctx is cancelled or the client is
+// stopped, returning the last exchange error.
+func (c *Client) control(ctx context.Context, cmd, wantPrefix string) (resp string, retries int, err error) {
 	for k := 0; k < c.cfg.Retry.Attempts; k++ {
 		if k > 0 {
 			retries++
-			time.Sleep(c.backoff(k))
+			if !c.sleep(ctx, c.backoff(k)) {
+				return "", retries, err
+			}
 		}
 		resp, err = c.controlOnce(cmd, wantPrefix)
 		if err == nil || !transientNetErr(err) {
@@ -235,7 +337,7 @@ func (c *Client) controlOnce(cmd, wantPrefix string) (string, error) {
 // ServerReceived asks the server how many bytes it has received for
 // this transfer's token.
 func (c *Client) ServerReceived() (int64, error) {
-	resp, _, err := c.control("STAT "+c.token, "BYTES ")
+	resp, _, err := c.control(context.Background(), "STAT "+c.token, "BYTES ")
 	if err != nil {
 		return 0, err
 	}
@@ -248,12 +350,18 @@ func (c *Client) ServerReceived() (int64, error) {
 
 // dialData establishes one data connection (dial plus DATA header),
 // retrying transient failures. It returns the connection and the
-// retries spent.
-func (c *Client) dialData() (conn net.Conn, retries int, err error) {
+// retries spent. An interrupt (ctx cancel or Stop) aborts the
+// attempts with the interrupt error.
+func (c *Client) dialData(ctx context.Context) (conn net.Conn, retries int, err error) {
 	for k := 0; k < c.cfg.Retry.Attempts; k++ {
 		if k > 0 {
 			retries++
-			time.Sleep(c.backoff(k))
+			if !c.sleep(ctx, c.backoff(k)) {
+				break
+			}
+		}
+		if ierr := c.interrupted(ctx); ierr != nil {
+			return nil, retries, ierr
 		}
 		conn, err = c.cfg.Dialer("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 		if err != nil {
@@ -270,6 +378,9 @@ func (c *Client) dialData() (conn net.Conn, retries int, err error) {
 			return nil, retries, err
 		}
 		return conn, retries, nil
+	}
+	if ierr := c.interrupted(ctx); ierr != nil {
+		return nil, retries, ierr
 	}
 	return nil, retries, err
 }
@@ -303,10 +414,15 @@ func (c *Client) reconcile() (int64, bool) {
 // (MaxTransientFailures) is counted in consecutive epochs; a refused
 // dial fails in milliseconds, so without pacing N failed epochs burn
 // in well under a second and no real outage could be ridden out.
-// Fatal errors return immediately.
-func (c *Client) failEpoch(runStart time.Time, epoch float64, err error) error {
+// Fatal errors return immediately, and so does an interrupt (ctx
+// cancel or Stop) during the pacing wait — then the interrupt error
+// supersedes err, so a cancellation during an outage surfaces within
+// milliseconds instead of after the rest of the epoch.
+func (c *Client) failEpoch(ctx context.Context, runStart time.Time, epoch float64, err error) error {
 	if xfer.IsTransient(err) {
-		time.Sleep(time.Until(runStart.Add(time.Duration(epoch * float64(time.Second)))))
+		if !c.sleep(ctx, time.Until(runStart.Add(time.Duration(epoch*float64(time.Second))))) {
+			return c.interrupted(ctx)
+		}
 	}
 	return err
 }
@@ -314,8 +430,15 @@ func (c *Client) failEpoch(runStart time.Time, epoch float64, err error) error {
 // Run implements xfer.Transferer. The epoch is wall-clock seconds. A
 // transiently failed epoch (server unreachable, stripe below
 // MinStreams) still consumes its epoch of wall time, so the tuner's
-// consecutive-failure budget maps onto outage duration.
-func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
+// consecutive-failure budget maps onto outage duration. Cancelling
+// ctx aborts the epoch promptly at any point — dial backoffs,
+// failed-epoch pacing, or mid-pump — and Run returns the partial
+// epoch's report with its byte accounting reconciled against the
+// server, together with the context's error.
+func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return xfer.Report{}, err
+	}
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
@@ -335,11 +458,11 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	}
 	c.runs++
 	run := c.runs
-	startWall := time.Since(c.start).Seconds()
+	startWall := c.cfg.ClockOffset + time.Since(c.start).Seconds()
 	c.mu.Unlock()
 
 	if c.remaining.Load() <= 0 {
-		return xfer.Report{Params: p, Start: startWall, End: startWall, Done: true}, nil
+		return xfer.Report{Params: p, Start: startWall, End: startWall, Run: run, Done: true}, nil
 	}
 
 	// Setup phase — the restart analog: a control handshake plus one
@@ -348,12 +471,14 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	runStart := time.Now()
 	setupStart := runStart
 	n := p.Streams()
-	_ = run // runs are counted for diagnostics; the token is stable
 	var retries int
-	_, rt, err := c.control(fmt.Sprintf("START %s %d", c.token, n), "OK")
+	_, rt, err := c.control(ctx, fmt.Sprintf("START %s %d", c.token, n), "OK")
 	retries += rt
 	if err != nil {
-		return xfer.Report{}, c.failEpoch(runStart, epoch, classify(fmt.Errorf("gridftp: start: %w", err)))
+		if ierr := c.interrupted(ctx); ierr != nil {
+			return xfer.Report{}, ierr
+		}
+		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: start: %w", err)))
 	}
 	conns := make([]net.Conn, 0, n)
 	closeAll := func() {
@@ -364,9 +489,13 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	degraded := 0
 	var lastDialErr error
 	for i := 0; i < n; i++ {
-		conn, rt, err := c.dialData()
+		conn, rt, err := c.dialData(ctx)
 		retries += rt
 		if err != nil {
+			if ierr := c.interrupted(ctx); ierr != nil {
+				closeAll()
+				return xfer.Report{}, ierr
+			}
 			degraded++
 			lastDialErr = err
 			continue
@@ -381,14 +510,32 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 			return xfer.Report{}, fmt.Errorf("gridftp: epoch uses %d data connections but MinStreams is %d",
 				n, c.cfg.MinStreams)
 		}
-		return xfer.Report{}, c.failEpoch(runStart, epoch, classify(fmt.Errorf("gridftp: only %d/%d data connections (min %d): %w",
+		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: only %d/%d data connections (min %d): %w",
 			len(conns), n, c.cfg.MinStreams, lastDialErr)))
 	}
 	dead := time.Since(setupStart).Seconds()
 
-	// Pump phase, on the streams that survived setup.
+	// Pump phase, on the streams that survived setup. An interrupt
+	// (ctx cancel or Stop) closes abort — breaking any pacing wait —
+	// and expires every stream's write deadline, so blocked writes
+	// fail immediately and each pump returns its unsent budget.
 	deadline := time.Now().Add(time.Duration(epoch * float64(time.Second)))
 	rate := c.cfg.Shaper.perConnRate(len(conns))
+	abort := make(chan struct{})
+	unwatched := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-c.stopCh:
+		case <-unwatched:
+			return
+		}
+		close(abort)
+		now := time.Now()
+		for _, conn := range conns {
+			conn.SetWriteDeadline(now)
+		}
+	}()
 	var wg sync.WaitGroup
 	sent := make([]int64, len(conns))
 	for i, conn := range conns {
@@ -396,10 +543,11 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 		go func(i int, conn net.Conn) {
 			defer wg.Done()
 			conn.SetWriteDeadline(deadline.Add(time.Second))
-			sent[i] = pump(conn, rate, deadline, &c.remaining)
+			sent[i] = pump(conn, rate, deadline, &c.remaining, abort)
 		}(i, conn)
 	}
 	wg.Wait()
+	close(unwatched)
 	closeAll()
 
 	var local int64
@@ -410,7 +558,8 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	// Reconcile against receiver truth: the epoch's volume is what the
 	// server counted, not what sits in kernel socket buffers; bytes
 	// written but lost to a reset go back to the budget, late arrivals
-	// from a prior epoch are re-claimed.
+	// from a prior epoch are re-claimed. This also settles the exact
+	// accounting an interrupted epoch checkpoints.
 	if total, ok := c.reconcile(); ok {
 		c.mu.Lock()
 		prev := c.acked
@@ -424,7 +573,7 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 		// expiry); keep local accounting for this epoch and resync.
 	}
 
-	endWall := time.Since(c.start).Seconds()
+	endWall := c.cfg.ClockOffset + time.Since(c.start).Seconds()
 	elapsed := endWall - startWall
 	r := xfer.Report{
 		Params:          p,
@@ -434,6 +583,7 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 		DeadTime:        dead,
 		DegradedStreams: degraded,
 		Retries:         retries,
+		Run:             run,
 		Done:            c.remaining.Load() <= 0,
 	}
 	if elapsed > 0 {
@@ -441,6 +591,9 @@ func (c *Client) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
 	}
 	if live := elapsed - dead; live > 0 {
 		r.BestCase = r.Bytes / live
+	}
+	if err := ctx.Err(); err != nil {
+		return r, err
 	}
 	return r, nil
 }

@@ -150,12 +150,17 @@ func classify(err error) error {
 }
 
 // pump writes zeros to w at the given rate until the deadline, the
-// shared byte budget runs out, or a write fails. It returns the bytes
-// written.
-func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64) int64 {
+// shared byte budget runs out, a write fails, or abort is closed. It
+// returns the bytes written.
+func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64, abort <-chan struct{}) int64 {
 	var sent int64
 	start := time.Now()
 	for {
+		select {
+		case <-abort:
+			return sent
+		default:
+		}
 		if time.Now().After(deadline) {
 			return sent
 		}
@@ -182,7 +187,8 @@ func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64) i
 		if int64(n) < want {
 			budget.Add(want - int64(n))
 		}
-		// Token-bucket pacing: sleep off any rate debt.
+		// Token-bucket pacing: sleep off any rate debt, watching for
+		// an abort so a cancelled epoch is not held up by pacing.
 		if !math.IsInf(rate, 1) {
 			due := time.Duration(float64(sent) / rate * float64(time.Second))
 			elapsed := time.Since(start)
@@ -192,7 +198,13 @@ func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64) i
 					sleep = remain
 				}
 				if sleep > 0 {
-					time.Sleep(sleep)
+					t := time.NewTimer(sleep)
+					select {
+					case <-abort:
+						t.Stop()
+						return sent
+					case <-t.C:
+					}
 				}
 			}
 		}

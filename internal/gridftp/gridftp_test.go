@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -54,7 +55,7 @@ func TestClientConfigValidation(t *testing.T) {
 func TestTransferMovesBytes(t *testing.T) {
 	s := startServer(t)
 	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 4e6})
-	r, err := c.Run(xfer.Params{NC: 2, NP: 2}, 0.3)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 2}, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestBoundedTransferCompletes(t *testing.T) {
 	c := newTestClient(t, s, size, nil)
 	var total float64
 	for i := 0; i < 20; i++ {
-		r, err := c.Run(xfer.Params{NC: 2, NP: 1}, 0.2)
+		r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,14 +109,14 @@ func TestBoundedTransferCompletes(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	s := startServer(t)
 	c := newTestClient(t, s, xfer.Unbounded, nil)
-	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0); err != xfer.ErrBadEpoch {
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0); err != xfer.ErrBadEpoch {
 		t.Fatalf("zero epoch: %v", err)
 	}
-	if _, err := c.Run(xfer.Params{}, 0.1); err != xfer.ErrBadParams {
+	if _, err := c.Run(context.Background(), xfer.Params{}, 0.1); err != xfer.ErrBadParams {
 		t.Fatalf("bad params: %v", err)
 	}
 	c.Stop()
-	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.1); err != xfer.ErrStopped {
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.1); err != xfer.ErrStopped {
 		t.Fatalf("after stop: %v", err)
 	}
 }
@@ -128,7 +129,7 @@ func TestRunAgainstDeadServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.1); err == nil {
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.1); err == nil {
 		t.Fatal("run against closed server succeeded")
 	}
 }
@@ -136,7 +137,7 @@ func TestRunAgainstDeadServer(t *testing.T) {
 func TestShapedRateRespected(t *testing.T) {
 	s := startServer(t)
 	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 2e6})
-	r, err := c.Run(xfer.Params{NC: 3, NP: 1}, 0.5)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 3, NP: 1}, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestMoreConnectionsMoreThroughputWhenShaped(t *testing.T) {
 	s := startServer(t)
 	measure := func(nc int) float64 {
 		c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 2e6})
-		r, err := c.Run(xfer.Params{NC: nc, NP: 1}, 0.4)
+		r, err := c.Run(context.Background(), xfer.Params{NC: nc, NP: 1}, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func TestQuadShaperInteriorPeakOnWire(t *testing.T) {
 	sh := &Shaper{Rate: 4e6, Quad: 1.0 / 16} // optimum at 4 conns
 	measure := func(nc int) float64 {
 		c := newTestClient(t, s, xfer.Unbounded, sh)
-		r, err := c.Run(xfer.Params{NC: nc, NP: 1}, 0.4)
+		r, err := c.Run(context.Background(), xfer.Params{NC: nc, NP: 1}, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func TestTunerOverRealSockets(t *testing.T) {
 		Seed:      3,
 		Lambda:    4,
 	}
-	tr, err := tuner.NewCS(cfg).Tune(c)
+	tr, err := tuner.NewCS(cfg).Tune(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestNowAndTokens(t *testing.T) {
 	if c.Token() == c2.Token() {
 		t.Fatal("tokens collide")
 	}
-	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.05); err != nil {
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.05); err != nil {
 		t.Fatal(err)
 	}
 	if c.Now() <= 0 {
@@ -339,7 +340,7 @@ func TestServerDiesMidEpoch(t *testing.T) {
 	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 1e6})
 	done := make(chan xfer.Report, 1)
 	go func() {
-		r, err := c.Run(xfer.Params{NC: 2, NP: 1}, 2)
+		r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 2)
 		if err != nil {
 			t.Error(err)
 		}
@@ -367,7 +368,7 @@ func TestBudgetNotLostOnWriteFailure(t *testing.T) {
 	s := startServer(t)
 	const size = 10 << 20
 	c := newTestClient(t, s, size, &Shaper{Rate: 1e6})
-	r, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.3)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -53,7 +54,7 @@ func TestDegradedStripeRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := c.Run(xfer.Params{NC: 2, NP: 2}, 0.2)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 2}, 0.2)
 	if err != nil {
 		t.Fatalf("degraded epoch failed: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestRetriesRecoverFailedDials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := c.Run(xfer.Params{NC: 2, NP: 1}, 0.2)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestAllDialsFailedIsTransient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Run(xfer.Params{NC: 1, NP: 1}, 0.1)
+	_, err = c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.1)
 	if err == nil {
 		t.Fatal("run against dead server succeeded")
 	}
@@ -134,7 +135,7 @@ func TestMinStreamsEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Run(xfer.Params{NC: 4, NP: 1}, 0.1)
+	_, err = c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.1)
 	if err == nil {
 		t.Fatal("epoch below MinStreams succeeded")
 	}
@@ -157,7 +158,7 @@ func TestMinStreamsAboveStripeWidthIsConfigError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Run(xfer.Params{NC: 2, NP: 1}, 0.1)
+	_, err = c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.1)
 	if err == nil {
 		t.Fatal("epoch below MinStreams succeeded")
 	}
@@ -174,7 +175,7 @@ func TestReceiverTruthAccounting(t *testing.T) {
 	// follow-up STAT agrees immediately rather than eventually.
 	s := startServer(t)
 	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 4e6})
-	r, err := c.Run(xfer.Params{NC: 2, NP: 2}, 0.2)
+	r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 2}, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestTunedTransferSurvivesInjectedFaults(t *testing.T) {
 		Seed:      5,
 		Lambda:    2,
 	}
-	tr, err := tuner.NewCS(cfg).Tune(c)
+	tr, err := tuner.NewCS(cfg).Tune(context.Background(), c)
 	if err != nil {
 		t.Fatalf("tuned transfer did not survive the faults: %v", err)
 	}
@@ -313,7 +314,7 @@ func TestServerCloseUnderConcurrentConnects(t *testing.T) {
 func TestStopReleasesServerToken(t *testing.T) {
 	s := startServer(t)
 	c := newTestClient(t, s, xfer.Unbounded, &Shaper{Rate: 4e6})
-	if _, err := c.Run(xfer.Params{NC: 1, NP: 1}, 0.05); err != nil {
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 1, NP: 1}, 0.05); err != nil {
 		t.Fatal(err)
 	}
 	if s.Tokens() != 1 {

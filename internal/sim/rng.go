@@ -13,7 +13,8 @@ import "math/rand/v2"
 // RNG is a deterministic random source. The zero value is not usable;
 // construct with NewRNG.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src *rand.PCG
 }
 
 // NewRNG returns a generator seeded from seed. Two RNGs built from the
@@ -21,8 +22,17 @@ type RNG struct {
 func NewRNG(seed uint64) *RNG {
 	// Derive the second PCG word from the first with SplitMix64 so that
 	// nearby seeds give unrelated streams.
-	return &RNG{r: rand.New(rand.NewPCG(seed, splitmix64(seed)))}
+	src := rand.NewPCG(seed, splitmix64(seed))
+	return &RNG{r: rand.New(src), src: src}
 }
+
+// MarshalBinary captures the generator's exact position in its stream,
+// for checkpointing. It implements encoding.BinaryMarshaler.
+func (g *RNG) MarshalBinary() ([]byte, error) { return g.src.MarshalBinary() }
+
+// UnmarshalBinary restores a position captured by MarshalBinary. It
+// implements encoding.BinaryUnmarshaler.
+func (g *RNG) UnmarshalBinary(data []byte) error { return g.src.UnmarshalBinary(data) }
 
 // splitmix64 is the finalizer of the SplitMix64 generator, used only to
 // expand a single seed word into two.

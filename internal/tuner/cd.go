@@ -1,6 +1,10 @@
 package tuner
 
-import "dstune/internal/xfer"
+import (
+	"context"
+
+	"dstune/internal/xfer"
+)
 
 // CD is the coordinate-descent tuner of the paper's Algorithm 1: a
 // ±1 walk on one parameter driven by the sign of the relative change
@@ -29,14 +33,18 @@ func NewCD(cfg Config) *CD { return &CD{cfg: cfg} }
 func (c *CD) Name() string { return "cd-tuner" }
 
 // Tune implements Tuner.
-func (c *CD) Tune(t xfer.Transferer) (*Trace, error) {
+func (c *CD) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(c.Name(), c.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	cfg := r.cfg
 	dim := 0
+	stalls := 0
+	r.searchState = func() any {
+		return map[string]any{"kind": "cd", "dim": dim, "stalls": stalls}
+	}
 
 	// step moves coordinate `dim` of x by d within bounds.
 	step := func(x []int, d int) []int {
@@ -48,17 +56,16 @@ func (c *CD) Tune(t xfer.Transferer) (*Trace, error) {
 
 	// Lines 7-11: evaluate x0 and its upward probe x1.
 	xPrev2 := cfg.Box.ClampInt(cfg.Start)
-	fPrev2, stop, err := r.run(xPrev2)
+	fPrev2, stop, err := r.run(ctx, xPrev2)
 	if err != nil || stop {
 		return r.tr, err
 	}
 	xPrev := step(xPrev2, +1)
-	fPrev, stop, err := r.run(xPrev)
+	fPrev, stop, err := r.run(ctx, xPrev)
 	if err != nil || stop {
 		return r.tr, err
 	}
 
-	stalls := 0
 	for {
 		// Line 13: relative change between the last two epochs.
 		dc := delta(r.fitness(fPrev2), r.fitness(fPrev))
@@ -96,7 +103,7 @@ func (c *CD) Tune(t xfer.Transferer) (*Trace, error) {
 			stalls = 0
 		}
 
-		f, stop, err := r.run(next)
+		f, stop, err := r.run(ctx, next)
 		if err != nil || stop {
 			return r.tr, err
 		}

@@ -1,0 +1,165 @@
+package tuner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dstune/internal/xfer"
+)
+
+// CheckpointVersion is the checkpoint format version this build
+// writes and reads. LoadCheckpoint and Config.Resume reject other
+// versions rather than guess at their layout.
+const CheckpointVersion = 1
+
+// ErrInterrupted is returned by Tune when the run was stopped by the
+// Config.Drain channel: the in-flight epoch completed, the final
+// checkpoint (when configured) was written, and the transfer was left
+// running so a later run can resume it.
+var ErrInterrupted = errors.New("tuner: tuning interrupted")
+
+// EpochRecord is one recorded control epoch of a checkpointed run.
+type EpochRecord struct {
+	// X is the tuned vector the epoch ran with.
+	X []int `json:"x"`
+	// Report is the transfer's account of the epoch.
+	Report xfer.Report `json:"report"`
+	// Transient marks a tolerated transient-failure epoch (recorded
+	// as zero throughput); replay uses it to restore the consecutive
+	// failure counter.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// Checkpoint is the durable state of a tuned transfer, written after
+// every control epoch. Resumption is by deterministic replay: a fresh
+// tuner re-observes Trace in order, which reconstructs its in-memory
+// search state exactly, and then continues live — so Trace is the
+// authoritative state, while Search is a diagnostic snapshot of the
+// inner search (compass step size and queue, Nelder–Mead simplex,
+// RNG stream position) for inspection.
+type Checkpoint struct {
+	// Version is the format version; see CheckpointVersion.
+	Version int `json:"version"`
+	// Tuner is the name of the tuner that wrote the checkpoint; a
+	// resume with a different tuner is rejected.
+	Tuner string `json:"tuner"`
+	// Seed is the run's RNG seed; resume adopts it.
+	Seed uint64 `json:"seed"`
+	// Epochs counts the recorded control epochs (== len(Trace)).
+	Epochs int `json:"epochs"`
+	// Transients is the consecutive transient-failure count at the
+	// time of the snapshot.
+	Transients int `json:"transients,omitempty"`
+	// Transfer is the transfer's durable state: bytes acked by the
+	// receiver, bytes remaining, and the cumulative transfer clock.
+	Transfer xfer.TransferState `json:"transfer"`
+	// Search is the tuner's diagnostic search-state snapshot, when the
+	// tuner provides one.
+	Search json.RawMessage `json:"search,omitempty"`
+	// Trace holds every recorded epoch in order.
+	Trace []EpochRecord `json:"trace"`
+}
+
+// CheckpointWriter persists checkpoints. Save is called after every
+// control epoch with the complete current state (not a delta); an
+// error aborts tuning.
+type CheckpointWriter interface {
+	Save(ck *Checkpoint) error
+}
+
+// CheckpointFunc adapts a function to the CheckpointWriter interface.
+type CheckpointFunc func(ck *Checkpoint) error
+
+// Save implements CheckpointWriter.
+func (f CheckpointFunc) Save(ck *Checkpoint) error { return f(ck) }
+
+// FileCheckpoint writes checkpoints to a file as indented JSON. Each
+// Save writes a temporary file in the same directory, syncs it, and
+// renames it over the target, so the file always holds one complete
+// checkpoint even if the process dies mid-write.
+type FileCheckpoint struct {
+	path string
+}
+
+// NewFileCheckpoint returns a writer targeting path.
+func NewFileCheckpoint(path string) *FileCheckpoint {
+	return &FileCheckpoint{path: path}
+}
+
+// Path returns the target path.
+func (f *FileCheckpoint) Path() string { return f.path }
+
+// Save implements CheckpointWriter.
+func (f *FileCheckpoint) Save(ck *Checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(f.path), ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file written by
+// FileCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("tuner: checkpoint %s: %w", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("tuner: checkpoint %s has version %d, this build reads %d", path, ck.Version, CheckpointVersion)
+	}
+	if ck.Epochs != len(ck.Trace) {
+		return nil, fmt.Errorf("tuner: checkpoint %s is corrupt: %d epochs but %d trace records", path, ck.Epochs, len(ck.Trace))
+	}
+	return &ck, nil
+}
+
+// checkpoint snapshots the run's durable state to the configured
+// writer; with no writer configured it is a no-op. Replayed epochs do
+// not checkpoint — run only calls this for live epochs.
+func (r *runner) checkpoint() error {
+	if r.cfg.Checkpoint == nil {
+		return nil
+	}
+	ck := &Checkpoint{
+		Version:    CheckpointVersion,
+		Tuner:      r.tr.Tuner,
+		Seed:       r.cfg.Seed,
+		Epochs:     len(r.records),
+		Transients: r.transients,
+		Transfer:   xfer.CaptureState(r.t),
+		Trace:      append([]EpochRecord(nil), r.records...),
+	}
+	if r.searchState != nil {
+		if raw, err := json.Marshal(r.searchState()); err == nil {
+			ck.Search = raw
+		}
+	}
+	if err := r.cfg.Checkpoint.Save(ck); err != nil {
+		return fmt.Errorf("tuner: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dstune/internal/directsearch"
+	"dstune/internal/endpoint"
+	"dstune/internal/netem"
+	"dstune/internal/xfer"
+)
+
+// simTransfer builds a deterministic simulated world — a small 8-core
+// source over one 10 Gb/s, 30 ms path — and registers one unbounded
+// transfer on it.
+func simTransfer(t *testing.T, seed uint64) *xfer.Sim {
+	t.Helper()
+	f, err := xfer.NewFabric(xfer.FabricConfig{
+		Seed: seed,
+		Source: endpoint.Config{
+			Name:         "src",
+			Cores:        8,
+			CorePumpRate: 1.25e9,
+			RestartBase:  0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddPath(netem.Config{
+		Name:       "wan",
+		Capacity:   1.25e9,
+		BaseRTT:    0.03,
+		RandomLoss: 1e-5,
+		MaxCwnd:    8 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.NewTransfer(xfer.TransferConfig{Name: "t", Bytes: xfer.Unbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// simCfg tunes nc in [1, 32] with np fixed at 4 over short simulated
+// epochs.
+func simCfg() Config {
+	return Config{
+		Epoch:  5,
+		Box:    directsearch.MustBox([]int{1}, []int{32}),
+		Start:  []int{2},
+		Map:    MapNC(4),
+		Budget: 60,
+		Seed:   7,
+	}
+}
+
+// tunerCtors builds every tuner kind from a config.
+func tunerCtors() []func(Config) Tuner {
+	return []func(Config) Tuner{
+		func(c Config) Tuner { return NewStatic(c) },
+		func(c Config) Tuner { return NewCD(c) },
+		NewCS,
+		NewNM,
+		func(c Config) Tuner { return NewHeur1(c) },
+		func(c Config) Tuner { return NewHeur2(c) },
+		func(c Config) Tuner { return NewModel(c) },
+	}
+}
+
+// TestResumeMatchesUninterrupted is the checkpoint/resume property:
+// for every tuner, interrupting a run after k epochs (graceful drain),
+// checkpointing it through the durable JSON file form, and resuming on
+// the same live transfer must produce exactly the trace an
+// uninterrupted run produces on an identical fresh world — same
+// proposals, same reports, no restart-from-default.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	const seed = 11
+	const interruptAfter = 3
+	for _, mk := range tunerCtors() {
+		name := mk(simCfg()).Name()
+		t.Run(name, func(t *testing.T) {
+			// Reference: one uninterrupted run to completion.
+			ref, err := mk(simCfg()).Tune(context.Background(), simTransfer(t, seed))
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if len(ref.Results) <= interruptAfter {
+				t.Fatalf("reference run too short to interrupt: %d epochs", len(ref.Results))
+			}
+
+			// Interrupted: identical world, drained after k epochs, every
+			// checkpoint persisted through the durable file form.
+			live := simTransfer(t, seed)
+			fc := NewFileCheckpoint(filepath.Join(t.TempDir(), "run.checkpoint"))
+			drain := make(chan struct{})
+			drained := false
+			cfg := simCfg()
+			cfg.Drain = drain
+			cfg.Checkpoint = CheckpointFunc(func(ck *Checkpoint) error {
+				if err := fc.Save(ck); err != nil {
+					return err
+				}
+				if ck.Epochs >= interruptAfter && !drained {
+					drained = true
+					close(drain)
+				}
+				return nil
+			})
+			part, err := mk(cfg).Tune(context.Background(), live)
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("drained run returned %v, want ErrInterrupted", err)
+			}
+			if len(part.Results) != interruptAfter {
+				t.Fatalf("drained run recorded %d epochs, want %d", len(part.Results), interruptAfter)
+			}
+			if !reflect.DeepEqual(part.Results, ref.Results[:interruptAfter]) {
+				t.Fatalf("pre-interrupt trace diverged from reference:\n got %+v\nwant %+v",
+					part.Results, ref.Results[:interruptAfter])
+			}
+
+			// Resume from the JSON checkpoint on the same live transfer.
+			ck, err := LoadCheckpoint(fc.Path())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck.Epochs != interruptAfter {
+				t.Fatalf("checkpoint holds %d epochs, want %d", ck.Epochs, interruptAfter)
+			}
+			rcfg := simCfg()
+			rcfg.Resume = ck
+			resumed, err := mk(rcfg).Tune(context.Background(), live)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if len(resumed.Results) != len(ref.Results) {
+				t.Fatalf("resumed run has %d epochs, reference has %d",
+					len(resumed.Results), len(ref.Results))
+			}
+			for i := range ref.Results {
+				if !reflect.DeepEqual(resumed.Results[i], ref.Results[i]) {
+					t.Fatalf("epoch %d diverged after resume:\n got %+v\nwant %+v",
+						i, resumed.Results[i], ref.Results[i])
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRejectsMismatchedCheckpoint covers the resume validation:
+// foreign tuner, unknown version, and a trace/epoch-count mismatch all
+// fail before the transfer is touched.
+func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
+	good := &Checkpoint{Version: CheckpointVersion, Tuner: "default", Seed: 1}
+	cases := []struct {
+		name string
+		ck   Checkpoint
+	}{
+		{"foreign tuner", Checkpoint{Version: CheckpointVersion, Tuner: "cs-tuner"}},
+		{"unknown version", Checkpoint{Version: CheckpointVersion + 1, Tuner: "default"}},
+		{"epoch mismatch", Checkpoint{Version: CheckpointVersion, Tuner: "default", Epochs: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := cfg1D(100)
+			ck := tc.ck
+			cfg.Resume = &ck
+			f := newFake(peaked(10))
+			if _, err := NewStatic(cfg).Tune(context.Background(), f); err == nil {
+				t.Fatal("bad checkpoint accepted")
+			}
+			if f.runs != 0 {
+				t.Fatalf("transfer ran %d epochs under a rejected checkpoint", f.runs)
+			}
+		})
+	}
+	// Sanity: the good zero-epoch checkpoint is accepted.
+	cfg := cfg1D(100)
+	cfg.Resume = good
+	if _, err := NewStatic(cfg).Tune(context.Background(), newFake(peaked(10))); err != nil {
+		t.Fatalf("valid empty checkpoint rejected: %v", err)
+	}
+}
+
+// TestResumeDivergenceDetected: resuming with a changed configuration
+// makes the tuner propose a different vector than the checkpoint
+// recorded, which must fail loudly rather than corrupt the trace.
+func TestResumeDivergenceDetected(t *testing.T) {
+	ck := &Checkpoint{
+		Version: CheckpointVersion,
+		Tuner:   "default",
+		Epochs:  1,
+		Trace: []EpochRecord{{
+			X:      []int{5},
+			Report: xfer.Report{Start: 0, End: 10, Bytes: 1e9, Throughput: 1e8},
+		}},
+	}
+	cfg := cfg1D(100) // Start {2}: the static tuner proposes {2}, not {5}
+	cfg.Resume = ck
+	_, err := NewStatic(cfg).Tune(context.Background(), newFake(peaked(10)))
+	if err == nil {
+		t.Fatal("diverged resume did not fail")
+	}
+	if got := err.Error(); !containsAll(got, "diverged", "[2]", "[5]") {
+		t.Fatalf("divergence error lacks detail: %q", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDrainLeavesTransferRunning: a drain-interrupted run must return
+// ErrInterrupted, write a final checkpoint, and leave the transfer
+// alive for resumption (Stop would destroy the far end's byte
+// account).
+func TestDrainLeavesTransferRunning(t *testing.T) {
+	f := newFake(peaked(10))
+	drain := make(chan struct{})
+	close(drain)
+	var last *Checkpoint
+	cfg := cfg1D(100)
+	cfg.Drain = drain
+	cfg.Checkpoint = CheckpointFunc(func(ck *Checkpoint) error { last = ck; return nil })
+	tr, err := NewStatic(cfg).Tune(context.Background(), f)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if len(tr.Results) != 0 {
+		t.Fatalf("pre-closed drain still ran %d epochs", len(tr.Results))
+	}
+	if f.stopped {
+		t.Fatal("drained run stopped the transfer; resume is impossible")
+	}
+	if last == nil || last.Epochs != 0 || last.Tuner != "default" {
+		t.Fatalf("final checkpoint missing or wrong: %+v", last)
+	}
+}
+
+// cancelingFake wraps fake to cancel a context mid-epoch on a chosen
+// run, returning the partial epoch with the context's error — the
+// behaviour real transferers (Sim, gridftp.Client) exhibit under a
+// hard cancel.
+type cancelingFake struct {
+	fake
+	cancelOn int
+	cancel   context.CancelFunc
+}
+
+func (c *cancelingFake) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
+	rep, err := c.fake.Run(ctx, p, epoch)
+	if err == nil && c.fake.runs == c.cancelOn {
+		c.cancel()
+		// Model a half-finished epoch: time passed, fewer bytes moved.
+		rep.End = rep.Start + epoch/2
+		rep.Bytes /= 2
+		return rep, ctx.Err()
+	}
+	return rep, err
+}
+
+// TestCancelRecordsPartialEpoch: a ctx cancelled mid-epoch must stop
+// tuning with the context's error, record the partial epoch it got,
+// checkpoint it, and preserve the transfer.
+func TestCancelRecordsPartialEpoch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := &cancelingFake{fake: *newFake(peaked(10)), cancelOn: 3, cancel: cancel}
+	var last *Checkpoint
+	cfg := cfg1D(1000)
+	cfg.Checkpoint = CheckpointFunc(func(ck *Checkpoint) error { last = ck; return nil })
+	tr, err := NewStatic(cfg).Tune(ctx, f)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(tr.Results) != 3 {
+		t.Fatalf("trace has %d epochs, want 3 (two full + one partial)", len(tr.Results))
+	}
+	if f.fake.stopped {
+		t.Fatal("cancelled run stopped the transfer; resume is impossible")
+	}
+	if last == nil || last.Epochs != 3 {
+		t.Fatalf("final checkpoint missing or wrong: %+v", last)
+	}
+	partial := last.Trace[2].Report
+	if partial.End <= partial.Start || partial.End-partial.Start >= cfg.Epoch {
+		t.Fatalf("partial epoch not recorded as partial: %+v", partial)
+	}
+}
+
+// TestFileCheckpointDurability: Save must leave a complete, loadable
+// file (atomic rename, no temp litter), and LoadCheckpoint must reject
+// garbage and version skew.
+func TestFileCheckpointDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.checkpoint")
+	fc := NewFileCheckpoint(path)
+	ck := &Checkpoint{
+		Version:  CheckpointVersion,
+		Tuner:    "cs-tuner",
+		Seed:     42,
+		Epochs:   1,
+		Transfer: xfer.TransferState{Total: -1, Acked: 3e9, Remaining: -1, Clock: 30, Token: "tok"},
+		Trace: []EpochRecord{{
+			X:      []int{4},
+			Report: xfer.Report{Start: 0, End: 30, Bytes: 3e9, Throughput: 1e8, Run: 1},
+		}},
+	}
+	for i := 0; i < 3; i++ { // overwrite repeatedly, as a live run does
+		if err := fc.Save(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, ck)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d entries, want only the checkpoint", len(entries))
+	}
+
+	bad := filepath.Join(dir, "bad.checkpoint")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("garbage checkpoint loaded")
+	}
+	ck2 := *ck
+	ck2.Version = CheckpointVersion + 1
+	if err := NewFileCheckpoint(bad).Save(&ck2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("version-skewed checkpoint loaded")
+	}
+}
+
+// TestCheckpointFailureIsFatal: a failing checkpoint writer must abort
+// tuning — silently continuing would leave the operator with a stale
+// resume point.
+func TestCheckpointFailureIsFatal(t *testing.T) {
+	cfg := cfg1D(1000)
+	boom := errors.New("disk full")
+	cfg.Checkpoint = CheckpointFunc(func(*Checkpoint) error { return boom })
+	_, err := NewStatic(cfg).Tune(context.Background(), newFake(peaked(10)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the checkpoint write error", err)
+	}
+}

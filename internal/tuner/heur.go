@@ -1,6 +1,10 @@
 package tuner
 
-import "dstune/internal/xfer"
+import (
+	"context"
+
+	"dstune/internal/xfer"
+)
 
 // Heur1 is Balman & Kosar's dynamic adaptation heuristic [5], extended
 // to multiple parameters the same way cd-tuner is (the paper's §IV-C):
@@ -20,29 +24,32 @@ func NewHeur1(cfg Config) *Heur1 { return &Heur1{cfg: cfg} }
 func (h *Heur1) Name() string { return "heur1" }
 
 // Tune implements Tuner.
-func (h *Heur1) Tune(t xfer.Transferer) (*Trace, error) {
+func (h *Heur1) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(h.Name(), h.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	cfg := r.cfg
 	dim := 0
+	climbing := true
+	stalls := 0
+	r.searchState = func() any {
+		return map[string]any{"kind": "heur1", "dim": dim, "climbing": climbing, "stalls": stalls}
+	}
 
 	x := cfg.Box.ClampInt(cfg.Start)
-	fPrev, stop, err := r.run(x)
+	fPrev, stop, err := r.run(ctx, x)
 	if err != nil || stop {
 		return r.tr, err
 	}
 	// The first comparison needs a probe.
-	climbing := true
-	stalls := 0
 	for {
 		next := x
 		if climbing {
 			next = bump(cfg, x, dim, +1)
 		}
-		f, stop, err := r.run(next)
+		f, stop, err := r.run(ctx, next)
 		if err != nil || stop {
 			return r.tr, err
 		}
@@ -90,29 +97,34 @@ func NewHeur2(cfg Config) *Heur2 { return &Heur2{cfg: cfg} }
 func (h *Heur2) Name() string { return "heur2" }
 
 // Tune implements Tuner.
-func (h *Heur2) Tune(t xfer.Transferer) (*Trace, error) {
+func (h *Heur2) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(h.Name(), h.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	cfg := r.cfg
+	dim := 0
+	settled := false
+	r.searchState = func() any {
+		return map[string]any{"kind": "heur2", "dim": dim, "settled": settled}
+	}
 
 	x := cfg.Box.ClampInt(cfg.Start)
-	fBest, stop, err := r.run(x)
+	fBest, stop, err := r.run(ctx, x)
 	if err != nil || stop {
 		return r.tr, err
 	}
 	best := r.fitness(fBest)
 
 	// Exponential climb, one coordinate at a time.
-	for dim := 0; dim < cfg.Box.Dim(); dim++ {
+	for ; dim < cfg.Box.Dim(); dim++ {
 		for {
 			next := double(cfg, x, dim)
 			if equalInts(next, x) {
 				break // pinned at the bound
 			}
-			f, stop, err := r.run(next)
+			f, stop, err := r.run(ctx, next)
 			if err != nil || stop {
 				return r.tr, err
 			}
@@ -125,10 +137,11 @@ func (h *Heur2) Tune(t xfer.Transferer) (*Trace, error) {
 			break
 		}
 	}
+	settled = true
 
 	// Terminated: hold the settled parameters for the remainder.
 	for {
-		if _, stop, err := r.run(x); err != nil || stop {
+		if _, stop, err := r.run(ctx, x); err != nil || stop {
 			return r.tr, err
 		}
 	}

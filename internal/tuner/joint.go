@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -144,7 +145,11 @@ func (j *Joint) slices(x []int) [][]int {
 // is reached, then stops them all and returns one trace per transfer
 // (in input order). Each trace's epochs record that transfer's own
 // slice of the joint vector.
-func (j *Joint) Tune(ts []xfer.Transferer) ([]*Trace, error) {
+//
+// Cancelling ctx aborts the in-flight epoch and returns the traces so
+// far. Joint tuning has no checkpoint/resume support: the transfers
+// are always stopped on return.
+func (j *Joint) Tune(ctx context.Context, ts []xfer.Transferer) ([]*Trace, error) {
 	if err := j.cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,7 +188,7 @@ func (j *Joint) Tune(ts []xfer.Transferer) ([]*Trace, error) {
 			wg.Add(1)
 			go func(i int, t xfer.Transferer) {
 				defer wg.Done()
-				reps[i], errs[i] = t.Run(cfg.Maps[i](parts[i]), cfg.Epoch)
+				reps[i], errs[i] = t.Run(ctx, cfg.Maps[i](parts[i]), cfg.Epoch)
 			}(i, t)
 		}
 		wg.Wait()

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -32,7 +33,7 @@ type sharedMember struct {
 	stopped   bool
 }
 
-func (m *sharedMember) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
+func (m *sharedMember) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
 	if m.stopped {
 		return xfer.Report{}, xfer.ErrStopped
 	}
@@ -111,7 +112,7 @@ func TestJointConfigValidation(t *testing.T) {
 
 func TestJointTuneWrongTransferCount(t *testing.T) {
 	pool := &sharedFake{capacity: 1e9, quad: 1e-4}
-	_, err := NewJointCS(jointCfg(100)).Tune([]xfer.Transferer{pool.member(0)})
+	_, err := NewJointCS(jointCfg(100)).Tune(context.Background(), []xfer.Transferer{pool.member(0)})
 	if err == nil {
 		t.Fatal("transfer count mismatch accepted")
 	}
@@ -124,7 +125,7 @@ func TestJointFindsSharedOptimum(t *testing.T) {
 	for _, mk := range []func(JointConfig) *Joint{NewJointCS, NewJointNM} {
 		pool := &sharedFake{capacity: 1e9, quad: 1.0 / 256} // optimum: total -> minimal
 		j := mk(jointCfg(2400))
-		traces, err := j.Tune([]xfer.Transferer{pool.member(0), pool.member(1)})
+		traces, err := j.Tune(context.Background(), []xfer.Transferer{pool.member(0), pool.member(1)})
 		if err != nil {
 			t.Fatalf("%s: %v", j.Name(), err)
 		}
@@ -151,7 +152,7 @@ func TestJointInteriorOptimum(t *testing.T) {
 	pool.capacity = 1e9
 	cfg := jointCfg(2400)
 	j := NewJointCS(cfg)
-	traces, err := j.Tune([]xfer.Transferer{pool.member(0), pool.member(1)})
+	traces, err := j.Tune(context.Background(), []xfer.Transferer{pool.member(0), pool.member(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestJointInteriorOptimum(t *testing.T) {
 
 func TestJointBudget(t *testing.T) {
 	pool := &sharedFake{capacity: 1e9, quad: 1e-6}
-	traces, err := NewJointNM(jointCfg(200)).Tune([]xfer.Transferer{pool.member(0), pool.member(1)})
+	traces, err := NewJointNM(jointCfg(200)).Tune(context.Background(), []xfer.Transferer{pool.member(0), pool.member(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestJointBudget(t *testing.T) {
 func TestJointStopsTransfers(t *testing.T) {
 	pool := &sharedFake{capacity: 1e9, quad: 1e-6}
 	m0, m1 := pool.member(0), pool.member(1)
-	if _, err := NewJointCS(jointCfg(100)).Tune([]xfer.Transferer{m0, m1}); err != nil {
+	if _, err := NewJointCS(jointCfg(100)).Tune(context.Background(), []xfer.Transferer{m0, m1}); err != nil {
 		t.Fatal(err)
 	}
 	if !m0.stopped || !m1.stopped {
@@ -198,7 +199,7 @@ func TestJointWeights(t *testing.T) {
 	cfg := jointCfg(2400)
 	cfg.Weights = []float64{1, 0}
 	pool := &sharedFake{capacity: 1e9, quad: 1e-7} // negligible penalty
-	traces, err := NewJointCS(cfg).Tune([]xfer.Transferer{pool.member(0), pool.member(1)})
+	traces, err := NewJointCS(cfg).Tune(context.Background(), []xfer.Transferer{pool.member(0), pool.member(1)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"context"
+
 	"dstune/internal/model"
 	"dstune/internal/xfer"
 )
@@ -62,15 +64,19 @@ func samplePoints(cfg Config) []int {
 }
 
 // Tune implements Tuner.
-func (m *Model) Tune(t xfer.Transferer) (*Trace, error) {
+func (m *Model) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(m.Name(), m.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	cfg := r.cfg
 	rest := cfg.Box.ClampInt(cfg.Start)
 	points := samplePoints(cfg)
+	n := 0
+	r.searchState = func() any {
+		return map[string]any{"kind": "model", "n": n}
+	}
 
 	// withN substitutes n into the first coordinate.
 	withN := func(n int) []int {
@@ -88,7 +94,7 @@ func (m *Model) Tune(t xfer.Transferer) (*Trace, error) {
 		th := make([]float64, 0, len(points))
 		bestN, bestF := points[0], -1.0
 		for _, n := range points {
-			rep, stop, err := r.run(withN(n))
+			rep, stop, err := r.run(ctx, withN(n))
 			if err != nil || stop {
 				return bestN, true, err
 			}
@@ -107,13 +113,14 @@ func (m *Model) Tune(t xfer.Transferer) (*Trace, error) {
 		return co.Optimum(cfg.Box.Lo(0), cfg.Box.Hi(0)), false, nil
 	}
 
-	n, stop, err := sampleAndFit()
+	var stop bool
+	n, stop, err = sampleAndFit()
 	if err != nil || stop {
 		return r.tr, err
 	}
 	fLast := -1.0
 	for {
-		rep, stop, err := r.run(withN(n))
+		rep, stop, err := r.run(ctx, withN(n))
 		if err != nil || stop {
 			return r.tr, err
 		}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -19,7 +20,7 @@ type flaky struct {
 	stopped   bool
 }
 
-func (f *flaky) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
+func (f *flaky) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
 	if f.stopped {
 		return xfer.Report{}, xfer.ErrStopped
 	}
@@ -67,7 +68,7 @@ func TestRunnerToleratesConsecutiveTransients(t *testing.T) {
 				Budget:               10,
 				MaxTransientFailures: maxFail,
 			}
-			tr, err := NewStatic(cfg).Tune(f)
+			tr, err := NewStatic(cfg).Tune(context.Background(), f)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("n consecutive transient failures did not abort")
@@ -107,7 +108,7 @@ func TestFatalErrorStillAborts(t *testing.T) {
 		Map:    MapNC(1),
 		Budget: 10,
 	}
-	_, err := NewStatic(cfg).Tune(f)
+	_, err := NewStatic(cfg).Tune(context.Background(), f)
 	if err == nil {
 		t.Fatal("fatal error did not abort tuning")
 	}
@@ -130,7 +131,7 @@ func TestZeroEpochReTriggersSearch(t *testing.T) {
 		Lambda: 2,
 		Seed:   1,
 	}
-	tr, err := NewCS(cfg).Tune(f)
+	tr, err := NewCS(cfg).Tune(context.Background(), f)
 	if err != nil {
 		t.Fatalf("cs-tuner died on a single transient outage: %v", err)
 	}
@@ -196,7 +197,7 @@ func TestNoToleranceMakesEveryChangeSignificant(t *testing.T) {
 			Map:       MapNC(1),
 			Budget:    30,
 		}
-		tr, err := NewCD(cfg).Tune(f)
+		tr, err := NewCD(cfg).Tune(context.Background(), f)
 		if err != nil {
 			t.Fatal(err)
 		}

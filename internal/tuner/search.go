@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"context"
+
 	"dstune/internal/directsearch"
 	"dstune/internal/sim"
 	"dstune/internal/xfer"
@@ -22,27 +24,36 @@ type searchTuner struct {
 func (s *searchTuner) Name() string { return s.name }
 
 // Tune implements Tuner.
-func (s *searchTuner) Tune(t xfer.Transferer) (*Trace, error) {
+func (s *searchTuner) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(s.name, s.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	cfg := r.cfg
 	rng := sim.NewRNG(cfg.Seed)
 	x0 := cfg.Box.ClampInt(cfg.Start)
 
+	// The checkpoint's diagnostic search state: the tuner phase, the
+	// inner search's position, and the RNG stream position. Resume
+	// rebuilds all of it by replay; the snapshot exists for
+	// inspection.
+	phase := "search"
+	var srch directsearch.Searcher
+	r.searchState = func() any { return searchSnapshot(phase, srch, rng) }
+
 	// search drives one inner direct search to convergence, one
 	// control epoch per evaluation, and returns the incumbent.
 	search := func(start []int) (x []int, f float64, stop bool, err error) {
-		srch := s.newSearch(start, cfg, rng)
+		phase = "search"
+		srch = s.newSearch(start, cfg, rng)
 		for {
 			cand, done := srch.Suggest()
 			if done {
 				x, f = srch.Best()
 				return x, f, false, nil
 			}
-			rep, stop, err := r.run(cand)
+			rep, stop, err := r.run(ctx, cand)
 			if err != nil || stop {
 				bx, bf := srch.Best()
 				if bx == nil {
@@ -59,10 +70,11 @@ func (s *searchTuner) Tune(t xfer.Transferer) (*Trace, error) {
 	if err != nil || stop {
 		return r.tr, err
 	}
+	phase = "monitor"
 
 	// Lines 18-25: the monitor loop.
 	for {
-		rep, stop, err := r.run(x)
+		rep, stop, err := r.run(ctx, x)
 		if err != nil || stop {
 			return r.tr, err
 		}
@@ -77,8 +89,28 @@ func (s *searchTuner) Tune(t xfer.Transferer) (*Trace, error) {
 			if err != nil || stop {
 				return r.tr, err
 			}
+			phase = "monitor"
 		}
 	}
+}
+
+// searchSnapshot composes the diagnostic search state cs-tuner and
+// nm-tuner record in checkpoints: the tuner phase, the inner search's
+// position (the compass step size and polling queue, or the
+// Nelder–Mead simplex), and the RNG stream position (JSON-encoded as
+// base64).
+func searchSnapshot(phase string, srch directsearch.Searcher, rng *sim.RNG) any {
+	st := map[string]any{"phase": phase}
+	switch s := srch.(type) {
+	case *directsearch.Compass:
+		st["search"] = s.Snapshot()
+	case *directsearch.NelderMead:
+		st["search"] = s.Snapshot()
+	}
+	if b, err := rng.MarshalBinary(); err == nil {
+		st["rng"] = b
+	}
+	return st
 }
 
 // NewCS returns the compass-search tuner of Algorithm 2.

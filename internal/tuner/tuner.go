@@ -14,6 +14,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,6 +119,26 @@ type Config struct {
 	// a zero-throughput epoch, so the ε-monitor naturally re-triggers
 	// a search once the transfer recovers. Zero selects 3.
 	MaxTransientFailures int
+	// Checkpoint, when non-nil, receives a snapshot of the run's
+	// durable state after every completed control epoch (and a final
+	// one when tuning is interrupted), so an aborted run can be
+	// resumed later. See FileCheckpoint for the durable file form.
+	Checkpoint CheckpointWriter
+	// Resume, when non-nil, continues the run recorded in the
+	// checkpoint instead of starting fresh: the recorded epochs are
+	// replayed through the tuner — rebuilding its in-memory search
+	// state exactly, without touching the transfer — and live tuning
+	// continues mid-trajectory from the first unrecorded epoch. The
+	// checkpoint's seed overrides Seed. The transfer passed to Tune
+	// must carry the checkpoint's remaining bytes and clock (see
+	// xfer.TransferState and Checkpoint.Transfer).
+	Resume *Checkpoint
+	// Drain, when non-nil, requests a graceful stop: once the channel
+	// is closed, tuning finishes the in-flight control epoch, writes a
+	// final checkpoint, leaves the transfer running, and returns
+	// ErrInterrupted. Cancelling the Tune context instead aborts the
+	// in-flight epoch immediately.
+	Drain <-chan struct{}
 }
 
 // resolveSentinel maps the zero value to def and the NaN sentinel
@@ -309,7 +330,14 @@ type Tuner interface {
 	Name() string
 	// Tune drives the transfer until it completes or the budget is
 	// reached, then stops it and returns the per-epoch trace.
-	Tune(t xfer.Transferer) (*Trace, error)
+	//
+	// Cancelling ctx aborts the in-flight epoch promptly and returns
+	// the trace so far with the context's error; closing Config.Drain
+	// instead finishes the in-flight epoch first and returns
+	// ErrInterrupted. Either way a final checkpoint is written (when
+	// configured) and the transfer is left running — not stopped — so
+	// a later run can resume it.
+	Tune(ctx context.Context, t xfer.Transferer) (*Trace, error)
 }
 
 // runner holds the per-Tune state shared by all tuners.
@@ -319,14 +347,114 @@ type runner struct {
 	tr  *Trace
 	// transients counts consecutive transient epoch failures.
 	transients int
+	// records mirrors tr.Results with the transient flag attached —
+	// the trace a checkpoint carries.
+	records []EpochRecord
+	// replay holds resumed epochs not yet replayed; while it is
+	// non-empty, run feeds recorded reports back instead of driving
+	// the transfer, which rebuilds the tuner's in-memory search state
+	// exactly: every tuner is a deterministic function of its config,
+	// seed, and observed report sequence.
+	replay []EpochRecord
+	// searchState, when a tuner sets it, returns the inner search's
+	// serializable snapshot for the checkpoint's diagnostic Search
+	// field.
+	searchState func() any
+	// preserve suppresses Stop on close: set when the run is
+	// interrupted, because stopping the transfer would discard state a
+	// resumed run needs (a real-socket Stop deletes the server-side
+	// byte account).
+	preserve bool
 }
 
-// newRunner validates cfg and prepares a run against t.
+// newRunner validates cfg and prepares a run against t. With
+// cfg.Resume set it also checks that the checkpoint belongs to this
+// tuner, adopts its seed, and queues its trace for replay.
 func newRunner(name string, cfg Config, t xfer.Transferer) (*runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &runner{cfg: cfg.withDefaults(), t: t, tr: &Trace{Tuner: name}}, nil
+	r := &runner{cfg: cfg.withDefaults(), t: t, tr: &Trace{Tuner: name}}
+	if ck := cfg.Resume; ck != nil {
+		if ck.Version != CheckpointVersion {
+			return nil, fmt.Errorf("tuner: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
+		}
+		if ck.Tuner != name {
+			return nil, fmt.Errorf("tuner: checkpoint belongs to %q, cannot resume with %q", ck.Tuner, name)
+		}
+		if ck.Epochs != len(ck.Trace) {
+			return nil, fmt.Errorf("tuner: corrupt checkpoint: %d epochs but %d trace records", ck.Epochs, len(ck.Trace))
+		}
+		r.cfg.Seed = ck.Seed
+		r.replay = append([]EpochRecord(nil), ck.Trace...)
+	}
+	return r, nil
+}
+
+// interrupted reports the pending interrupt, if any: a cancelled ctx
+// (hard abort) or a closed Drain channel (stop at the epoch
+// boundary). Either way the transfer is preserved for resumption.
+func (r *runner) interrupted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		r.preserve = true
+		return err
+	}
+	if r.cfg.Drain != nil {
+		select {
+		case <-r.cfg.Drain:
+			r.preserve = true
+			return ErrInterrupted
+		default:
+		}
+	}
+	return nil
+}
+
+// close releases the transfer, unless the run was interrupted — an
+// interrupted transfer is left alive so a checkpointed run can resume
+// it (the caller may still Stop it explicitly).
+func (r *runner) close() {
+	if r.preserve {
+		return
+	}
+	r.t.Stop()
+}
+
+// record appends an epoch to the trace and the checkpoint record.
+func (r *runner) record(x []int, rep xfer.Report, transient bool) {
+	r.tr.add(x, rep)
+	xc := make([]int, len(x))
+	copy(xc, x)
+	r.records = append(r.records, EpochRecord{X: xc, Report: rep, Transient: transient})
+}
+
+// replayOne consumes the next resumed epoch: it checks that the tuner
+// proposed the same vector the original run recorded (a divergence
+// means the configuration changed since the checkpoint was written)
+// and feeds the recorded report back so the tuner's search state
+// advances exactly as it originally did.
+func (r *runner) replayOne(x []int) (xfer.Report, bool, error) {
+	rec := r.replay[0]
+	if !equalInts(x, rec.X) {
+		return xfer.Report{}, true, fmt.Errorf(
+			"tuner: resume diverged at epoch %d: proposed %v, checkpoint recorded %v (was the configuration changed?)",
+			len(r.records), x, rec.X)
+	}
+	r.replay = r.replay[1:]
+	if rec.Transient {
+		r.transients++
+	} else {
+		r.transients = 0
+	}
+	r.record(rec.X, rec.Report, rec.Transient)
+	// Stop conditions come from the record, not the live transfer:
+	// the live clock already sits at the end of the resumed run, and
+	// judging mid-replay epochs by it would truncate the replay.
+	stop := rec.Report.Done
+	if r.cfg.Budget > 0 && rec.Report.End >= r.cfg.Budget-1e-9 {
+		stop = true
+	}
+	return rec.Report, stop, nil
 }
 
 // spent reports whether the transfer is finished or out of budget.
@@ -343,30 +471,63 @@ func (r *runner) spent() bool {
 // run executes one control epoch with vector x and records it. The
 // bool result reports whether tuning should stop.
 //
+// While resumed epochs remain queued, run replays them instead of
+// driving the transfer (see runner.replay). Otherwise it first checks
+// for an interrupt: a cancelled ctx or a closed Drain channel stops
+// tuning at this epoch boundary after a final checkpoint. A ctx
+// cancelled mid-epoch records the partial epoch (when it carries any
+// transfer time), checkpoints, and stops with the context's error.
+//
 // A transient failure (xfer.ErrTransient) does not abort the trace:
 // up to MaxTransientFailures-1 consecutive failures are each recorded
 // as a zero-throughput epoch and tuning continues — the zero reading
 // trips the ε-monitor, so the search re-engages once the transfer
 // recovers. The MaxTransientFailures-th consecutive failure, and any
 // fatal error, stops tuning with the error.
-func (r *runner) run(x []int) (xfer.Report, bool, error) {
+func (r *runner) run(ctx context.Context, x []int) (xfer.Report, bool, error) {
+	if len(r.replay) > 0 {
+		return r.replayOne(x)
+	}
+	if err := r.interrupted(ctx); err != nil {
+		if ckErr := r.checkpoint(); ckErr != nil {
+			return xfer.Report{}, true, ckErr
+		}
+		return xfer.Report{}, true, err
+	}
 	p := r.cfg.Map(x)
 	start := r.t.Now()
-	rep, err := r.t.Run(p, r.cfg.Epoch)
-	if err != nil {
-		if xfer.IsTransient(err) {
-			r.transients++
-			if r.transients < r.cfg.MaxTransientFailures {
-				rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
-				r.tr.add(x, rep)
-				return rep, r.spent(), nil
-			}
+	rep, err := r.t.Run(ctx, p, r.cfg.Epoch)
+	switch {
+	case err == nil:
+		r.transients = 0
+		r.record(x, rep, false)
+		if ckErr := r.checkpoint(); ckErr != nil {
+			return rep, true, ckErr
+		}
+		return rep, rep.Done || r.spent(), nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.preserve = true
+		if rep.End > rep.Start {
+			r.record(x, rep, false)
+		}
+		if ckErr := r.checkpoint(); ckErr != nil {
+			return rep, true, ckErr
 		}
 		return rep, true, err
+	case xfer.IsTransient(err):
+		r.transients++
+		if r.transients < r.cfg.MaxTransientFailures {
+			rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
+			r.record(x, rep, true)
+			if ckErr := r.checkpoint(); ckErr != nil {
+				return rep, true, ckErr
+			}
+			return rep, r.spent(), nil
+		}
+		return rep, true, err
+	default:
+		return rep, true, err
 	}
-	r.transients = 0
-	r.tr.add(x, rep)
-	return rep, rep.Done || r.spent(), nil
 }
 
 // fitness returns the objective value of an epoch under the
@@ -407,18 +568,20 @@ func NewStatic(cfg Config) *Static {
 func (s *Static) Name() string { return s.name }
 
 // Tune implements Tuner.
-func (s *Static) Tune(t xfer.Transferer) (*Trace, error) {
+func (s *Static) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 	r, err := newRunner(s.name, s.cfg, t)
 	if err != nil {
 		return nil, err
 	}
-	defer t.Stop()
+	defer r.close()
 	x := s.cfg.Box.ClampInt(s.cfg.Start)
 	for {
-		if r.spent() {
+		// While replaying, stop conditions come from the records (the
+		// live clock already sits at the end of the resumed run).
+		if len(r.replay) == 0 && r.spent() {
 			return r.tr, nil
 		}
-		if _, stop, err := r.run(x); err != nil || stop {
+		if _, stop, err := r.run(ctx, x); err != nil || stop {
 			return r.tr, err
 		}
 	}

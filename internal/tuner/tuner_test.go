@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -21,7 +22,7 @@ type fake struct {
 	failAfter int // inject an error on run number failAfter (1-based)
 }
 
-func (f *fake) Run(p xfer.Params, epoch float64) (xfer.Report, error) {
+func (f *fake) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
 	if f.stopped {
 		return xfer.Report{}, xfer.ErrStopped
 	}
@@ -126,7 +127,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestTuneRejectsBadConfig(t *testing.T) {
 	for _, tn := range allTuners(Config{}) {
-		if _, err := tn.Tune(newFake(peaked(10))); err == nil {
+		if _, err := tn.Tune(context.Background(), newFake(peaked(10))); err == nil {
 			t.Errorf("%s: bad config accepted", tn.Name())
 		}
 	}
@@ -146,7 +147,7 @@ func TestNames(t *testing.T) {
 
 func TestStaticHoldsParams(t *testing.T) {
 	f := newFake(peaked(10))
-	tr, err := NewStatic(cfg1D(100)).Tune(f)
+	tr, err := NewStatic(cfg1D(100)).Tune(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestStaticHoldsParams(t *testing.T) {
 func TestBudgetRespected(t *testing.T) {
 	for _, tn := range allTuners(cfg1D(120)) {
 		f := newFake(peaked(10))
-		tr, err := tn.Tune(f)
+		tr, err := tn.Tune(context.Background(), f)
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -183,13 +184,13 @@ func TestBudgetRespected(t *testing.T) {
 }
 
 func TestTunersBeatDefaultOnPeakedObjective(t *testing.T) {
-	base, err := NewStatic(cfg1D(600)).Tune(newFake(peaked(20)))
+	base, err := NewStatic(cfg1D(600)).Tune(context.Background(), newFake(peaked(20)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	baseMean := base.SteadyThroughput(300)
 	for _, tn := range []Tuner{NewCD(cfg1D(600)), NewCS(cfg1D(600)), NewNM(cfg1D(600)), NewHeur1(cfg1D(600)), NewHeur2(cfg1D(600))} {
-		tr, err := tn.Tune(newFake(peaked(20)))
+		tr, err := tn.Tune(context.Background(), newFake(peaked(20)))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -200,7 +201,7 @@ func TestTunersBeatDefaultOnPeakedObjective(t *testing.T) {
 }
 
 func TestCDHoversAtPeak(t *testing.T) {
-	tr, err := NewCD(cfg1D(600)).Tune(newFake(peaked(10)))
+	tr, err := NewCD(cfg1D(600)).Tune(context.Background(), newFake(peaked(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestCDHoversAtPeak(t *testing.T) {
 
 func TestSearchTunersConvergeNearPeak(t *testing.T) {
 	for _, tn := range []Tuner{NewCS(cfg1D(900)), NewNM(cfg1D(900))} {
-		tr, err := tn.Tune(newFake(peaked(40)))
+		tr, err := tn.Tune(context.Background(), newFake(peaked(40)))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -230,7 +231,7 @@ func TestSearchTunersReadaptAfterShift(t *testing.T) {
 	for _, mk := range []func(Config) Tuner{NewCS, NewNM} {
 		cfg := cfg1D(1800)
 		tn := mk(cfg)
-		tr, err := tn.Tune(newFake(shifting(10, 30, 600)))
+		tr, err := tn.Tune(context.Background(), newFake(shifting(10, 30, 600)))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -244,7 +245,7 @@ func TestSearchTunersReadaptAfterShift(t *testing.T) {
 func TestRestartFromCurrent(t *testing.T) {
 	cfg := cfg1D(1800)
 	cfg.Restart = FromCurrent
-	tr, err := NewCS(cfg).Tune(newFake(shifting(10, 30, 600)))
+	tr, err := NewCS(cfg).Tune(context.Background(), newFake(shifting(10, 30, 600)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestRestartFromCurrent(t *testing.T) {
 func TestHeur2SettlesAndNeverRetunes(t *testing.T) {
 	// Doubling from 2: 4, 8, 16 (worse) -> settle at 8 and hold, even
 	// after the landscape shifts.
-	tr, err := NewHeur2(cfg1D(1800)).Tune(newFake(shifting(10, 30, 600)))
+	tr, err := NewHeur2(cfg1D(1800)).Tune(context.Background(), newFake(shifting(10, 30, 600)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestHeur2StartAboveCriticalStaysHigh(t *testing.T) {
 	// back down.
 	cfg := cfg1D(600)
 	cfg.Start = []int{64}
-	tr, err := NewHeur2(cfg).Tune(newFake(peaked(10)))
+	tr, err := NewHeur2(cfg).Tune(context.Background(), newFake(peaked(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestHeur2StartAboveCriticalStaysHigh(t *testing.T) {
 }
 
 func TestHeur1ClimbsAdditively(t *testing.T) {
-	tr, err := NewHeur1(cfg1D(600)).Tune(newFake(peaked(10)))
+	tr, err := NewHeur1(cfg1D(600)).Tune(context.Background(), newFake(peaked(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestHeur1ClimbsAdditively(t *testing.T) {
 func TestHeur1NeverDecreasesBelowStart(t *testing.T) {
 	cfg := cfg1D(600)
 	cfg.Start = []int{64}
-	tr, err := NewHeur1(cfg).Tune(newFake(peaked(10)))
+	tr, err := NewHeur1(cfg).Tune(context.Background(), newFake(peaked(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestTwoParameterTuning(t *testing.T) {
 		Seed:   2,
 	}
 	for _, tn := range []Tuner{NewCS(cfg), NewNM(cfg), NewCD(cfg)} {
-		tr, err := tn.Tune(newFake(g))
+		tr, err := tn.Tune(context.Background(), newFake(g))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -351,7 +352,7 @@ func TestErrorPropagation(t *testing.T) {
 	for _, tn := range allTuners(cfg1D(1000)) {
 		f := newFake(peaked(10))
 		f.failAfter = 5
-		_, err := tn.Tune(f)
+		_, err := tn.Tune(context.Background(), f)
 		if err == nil {
 			t.Errorf("%s: injected failure not propagated", tn.Name())
 		}
@@ -362,7 +363,7 @@ func TestTransferCompletionEndsTuning(t *testing.T) {
 	for _, tn := range allTuners(cfg1D(0)) {
 		f := newFake(peaked(10))
 		f.remaining = 5e9 // finishes within a few epochs
-		tr, err := tn.Tune(f)
+		tr, err := tn.Tune(context.Background(), f)
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -378,7 +379,7 @@ func TestTransferCompletionEndsTuning(t *testing.T) {
 
 func TestTraceAccessors(t *testing.T) {
 	f := newFake(peaked(10))
-	tr, err := NewStatic(cfg1D(100)).Tune(f)
+	tr, err := NewStatic(cfg1D(100)).Tune(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +494,7 @@ func modelCurve(peak int, scale float64) func(p xfer.Params, now float64) float6
 }
 
 func TestModelTunerFindsPeak(t *testing.T) {
-	tr, err := NewModel(cfg1D(900)).Tune(newFake(modelCurve(28, 1)))
+	tr, err := NewModel(cfg1D(900)).Tune(context.Background(), newFake(modelCurve(28, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,7 +513,7 @@ func TestModelTunerResamplesOnShift(t *testing.T) {
 		}
 		return late(p, now)
 	}
-	tr, err := NewModel(cfg1D(1800)).Tune(newFake(shiftG))
+	tr, err := NewModel(cfg1D(1800)).Tune(context.Background(), newFake(shiftG))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +531,7 @@ func TestModelTunerName(t *testing.T) {
 }
 
 func TestModelTunerBadConfig(t *testing.T) {
-	if _, err := NewModel(Config{}).Tune(newFake(peaked(5))); err == nil {
+	if _, err := NewModel(Config{}).Tune(context.Background(), newFake(peaked(5))); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -549,13 +550,13 @@ func noisy(g func(xfer.Params, float64) float64, amp float64) func(xfer.Params, 
 func TestTunersTolerateMildNoise(t *testing.T) {
 	// 3% noise sits under the 5% tolerance: tuners should still beat
 	// the static default clearly.
-	base, err := NewStatic(cfg1D(900)).Tune(newFake(noisy(peaked(20), 0.03)))
+	base, err := NewStatic(cfg1D(900)).Tune(context.Background(), newFake(noisy(peaked(20), 0.03)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	def := base.SteadyThroughput(450)
 	for _, tn := range []Tuner{NewCD(cfg1D(900)), NewCS(cfg1D(900)), NewNM(cfg1D(900))} {
-		tr, err := tn.Tune(newFake(noisy(peaked(20), 0.03)))
+		tr, err := tn.Tune(context.Background(), newFake(noisy(peaked(20), 0.03)))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -568,13 +569,13 @@ func TestTunersTolerateMildNoise(t *testing.T) {
 func TestSearchTunersSurviveHeavyNoise(t *testing.T) {
 	// 15% noise constantly re-triggers the monitor; the tuners must
 	// not crash, loop, or collapse below the static baseline.
-	base, err := NewStatic(cfg1D(1200)).Tune(newFake(noisy(peaked(20), 0.15)))
+	base, err := NewStatic(cfg1D(1200)).Tune(context.Background(), newFake(noisy(peaked(20), 0.15)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	def := base.MeanThroughput()
 	for _, tn := range []Tuner{NewCS(cfg1D(1200)), NewNM(cfg1D(1200))} {
-		tr, err := tn.Tune(newFake(noisy(peaked(20), 0.15)))
+		tr, err := tn.Tune(context.Background(), newFake(noisy(peaked(20), 0.15)))
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}

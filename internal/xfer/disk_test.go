@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"context"
 	"testing"
 
 	"dstune/internal/dataset"
@@ -33,7 +34,7 @@ func TestDiskTransferCompletes(t *testing.T) {
 	var bytes float64
 	files := 0
 	for i := 0; i < 100; i++ {
-		r, err := tr.Run(Params{NC: 4, NP: 4, PP: 4}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4, PP: 4}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestPipeliningHelpsSmallFiles(t *testing.T) {
 		d := dataset.ManySmall(400)
 		tr := diskTransfer(t, 2, d, 0, 0.2)
 		defer tr.Stop()
-		r, err := tr.Run(Params{NC: 4, NP: 2, PP: pp}, 30)
+		r, err := tr.Run(context.Background(), Params{NC: 4, NP: 2, PP: pp}, 30)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,8 +79,8 @@ func TestDiskRateCapsThroughput(t *testing.T) {
 	d := dataset.Uniform(4, 1<<30)
 	tr := diskTransfer(t, 3, d, 1e8, 0.01) // 100 MB/s storage
 	defer tr.Stop()
-	tr.Run(Params{NC: 4, NP: 4}, 10) // ramp
-	r, err := tr.Run(Params{NC: 4, NP: 4}, 20)
+	tr.Run(context.Background(), Params{NC: 4, NP: 4}, 10) // ramp
+	r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestDiskRestartRequeuesFiles(t *testing.T) {
 	files := 0
 	nc := 2
 	for i := 0; i < 200; i++ {
-		r, err := tr.Run(Params{NC: nc, NP: 4, PP: 2}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: nc, NP: 4, PP: 2}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestDiskMoreProcsThanFiles(t *testing.T) {
 	d := dataset.Uniform(2, 20<<20)
 	tr := diskTransfer(t, 5, d, 0, 0.01)
 	for i := 0; i < 50; i++ {
-		r, err := tr.Run(Params{NC: 16, NP: 2, PP: 1}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: 16, NP: 2, PP: 1}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func TestDiskEmptyFilesCompleteImmediately(t *testing.T) {
 	}}
 	tr := diskTransfer(t, 6, d, 0, 0.01)
 	for i := 0; i < 50; i++ {
-		r, err := tr.Run(Params{NC: 2, NP: 2, PP: 1}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: 2, NP: 2, PP: 1}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}

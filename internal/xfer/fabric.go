@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -156,7 +157,9 @@ type Sim struct {
 	path   *netem.Path
 	policy RestartPolicy
 
+	total     float64 // configured volume (Inf for unbounded)
 	remaining float64
+	moved     float64 // cumulative delivered bytes
 	params    Params
 	flows     []*netem.Flow
 	prevFlow  []float64  // per-flow cumulative bytes already accounted
@@ -207,6 +210,7 @@ func (f *Fabric) NewTransfer(cfg TransferConfig) (*Sim, error) {
 	} else if cfg.Bytes <= 0 {
 		return nil, fmt.Errorf("xfer: transfer size must be positive, got %v", cfg.Bytes)
 	}
+	tr.total = tr.remaining
 	f.transfers = append(f.transfers, tr)
 	return tr, nil
 }
@@ -247,8 +251,31 @@ func (t *Sim) Stop() {
 	t.f.cond.Broadcast()
 }
 
-// Run implements Transferer.
-func (t *Sim) Run(p Params, epoch float64) (Report, error) {
+// Snapshot implements Snapshotter.
+func (t *Sim) Snapshot() TransferState {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	clock := 0.0
+	if t.started {
+		clock = t.f.clock.Now() - t.startTime
+	}
+	rem := t.remaining
+	if rem < 0 {
+		rem = 0
+	}
+	return TransferState{
+		Total:     Finite(t.total),
+		Acked:     t.moved,
+		Remaining: Finite(rem),
+		Clock:     clock,
+	}
+}
+
+// Run implements Transferer. Cancelling ctx ends the epoch at the
+// current virtual time: the partial epoch's report is returned with
+// the context's error, and the transfer stays registered and
+// resumable (unlike Stop, which tears it down).
+func (t *Sim) Run(ctx context.Context, p Params, epoch float64) (Report, error) {
 	f := t.f
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -256,11 +283,30 @@ func (t *Sim) Run(p Params, epoch float64) (Report, error) {
 	if t.stopped {
 		return Report{}, ErrStopped
 	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	if epoch <= 0 {
 		return Report{}, ErrBadEpoch
 	}
 	if !p.Valid() {
 		return Report{}, ErrBadParams
+	}
+	// A cancelled ctx must wake the barrier wait below; the watcher
+	// exits when Run returns. Skip it for non-cancellable contexts so
+	// the hot simulation path stays goroutine-free.
+	if ctx.Done() != nil {
+		unwatched := make(chan struct{})
+		defer close(unwatched)
+		go func() {
+			select {
+			case <-ctx.Done():
+				f.mu.Lock()
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			case <-unwatched:
+			}
+		}()
 	}
 	now := f.clock.Now()
 	if !t.started {
@@ -286,7 +332,7 @@ func (t *Sim) Run(p Params, epoch float64) (Report, error) {
 	start := now
 	t.target = start + epoch
 	f.cond.Broadcast()
-	for f.clock.Now() < t.target-1e-9 && !t.done && !t.stopped {
+	for f.clock.Now() < t.target-1e-9 && !t.done && !t.stopped && ctx.Err() == nil {
 		if f.canStepLocked() {
 			f.stepLocked()
 			f.cond.Broadcast()
@@ -319,7 +365,7 @@ func (t *Sim) Run(p Params, epoch float64) (Report, error) {
 		r.BestCase = r.Bytes / live
 	}
 	f.cond.Broadcast()
-	return r, nil
+	return r, ctx.Err()
 }
 
 // restartLocked tears down the transfer's processes and schedules new
@@ -491,6 +537,7 @@ func (f *Fabric) stepLocked() {
 			moved = tr.remaining
 		}
 		tr.epochBytes += moved
+		tr.moved += moved
 		tr.remaining -= moved
 		finished := tr.remaining <= 0
 		if tr.disk != nil {

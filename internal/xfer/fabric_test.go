@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestRunSingleEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := tr.Run(Params{NC: 4, NP: 4}, 10)
+	r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTransferCompletes(t *testing.T) {
 	}
 	var total float64
 	for i := 0; i < 100; i++ {
-		r, err := tr.Run(Params{NC: 4, NP: 4}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestRunAfterDone(t *testing.T) {
 	f, _ := testFabric(t, 3)
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: 1e8})
 	for i := 0; i < 50; i++ {
-		r, err := tr.Run(Params{NC: 4, NP: 4}, 5)
+		r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestRunAfterDone(t *testing.T) {
 			break
 		}
 	}
-	r, err := tr.Run(Params{NC: 4, NP: 4}, 5)
+	r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +116,8 @@ func TestRunAfterDone(t *testing.T) {
 func TestRestartPolicies(t *testing.T) {
 	f, _ := testFabric(t, 4)
 	every, _ := f.NewTransfer(TransferConfig{Name: "every", Bytes: Unbounded})
-	r1, _ := every.Run(Params{NC: 2, NP: 2}, 5)
-	r2, _ := every.Run(Params{NC: 2, NP: 2}, 5)
+	r1, _ := every.Run(context.Background(), Params{NC: 2, NP: 2}, 5)
+	r2, _ := every.Run(context.Background(), Params{NC: 2, NP: 2}, 5)
 	if r1.DeadTime <= 0 || r2.DeadTime <= 0 {
 		t.Fatalf("RestartEveryEpoch dead times: %v, %v; want both > 0", r1.DeadTime, r2.DeadTime)
 	}
@@ -124,9 +125,9 @@ func TestRestartPolicies(t *testing.T) {
 
 	f2, _ := testFabric(t, 4)
 	onchg, _ := f2.NewTransfer(TransferConfig{Name: "onchange", Bytes: Unbounded, Policy: RestartOnChange})
-	r1, _ = onchg.Run(Params{NC: 2, NP: 2}, 5)
-	r2, _ = onchg.Run(Params{NC: 2, NP: 2}, 5)
-	r3, _ := onchg.Run(Params{NC: 3, NP: 2}, 5)
+	r1, _ = onchg.Run(context.Background(), Params{NC: 2, NP: 2}, 5)
+	r2, _ = onchg.Run(context.Background(), Params{NC: 2, NP: 2}, 5)
+	r3, _ := onchg.Run(context.Background(), Params{NC: 3, NP: 2}, 5)
 	if r1.DeadTime <= 0 {
 		t.Fatalf("initial launch dead time = %v, want > 0", r1.DeadTime)
 	}
@@ -141,8 +142,8 @@ func TestRestartPolicies(t *testing.T) {
 func TestBestCaseExceedsObservedWithRestarts(t *testing.T) {
 	f, _ := testFabric(t, 5)
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded})
-	tr.Run(Params{NC: 4, NP: 4}, 5)
-	r, _ := tr.Run(Params{NC: 4, NP: 4}, 5)
+	tr.Run(context.Background(), Params{NC: 4, NP: 4}, 5)
+	r, _ := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 5)
 	if r.BestCase <= r.Throughput {
 		t.Fatalf("best case %v not above observed %v despite dead time %v",
 			r.BestCase, r.Throughput, r.DeadTime)
@@ -152,14 +153,14 @@ func TestBestCaseExceedsObservedWithRestarts(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	f, _ := testFabric(t, 6)
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded})
-	if _, err := tr.Run(Params{NC: 1, NP: 1}, 0); err != ErrBadEpoch {
+	if _, err := tr.Run(context.Background(), Params{NC: 1, NP: 1}, 0); err != ErrBadEpoch {
 		t.Fatalf("zero epoch: %v, want ErrBadEpoch", err)
 	}
-	if _, err := tr.Run(Params{NC: 0, NP: 1}, 5); err != ErrBadParams {
+	if _, err := tr.Run(context.Background(), Params{NC: 0, NP: 1}, 5); err != ErrBadParams {
 		t.Fatalf("nc=0: %v, want ErrBadParams", err)
 	}
 	tr.Stop()
-	if _, err := tr.Run(Params{NC: 1, NP: 1}, 5); err != ErrStopped {
+	if _, err := tr.Run(context.Background(), Params{NC: 1, NP: 1}, 5); err != ErrStopped {
 		t.Fatalf("after stop: %v, want ErrStopped", err)
 	}
 }
@@ -189,8 +190,8 @@ func TestComputeLoadReducesThroughput(t *testing.T) {
 		f, _ := testFabric(t, 8)
 		f.SetLoad(load.Constant(load.Load{Cmp: cmp}), nil)
 		tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded, Policy: RestartOnChange})
-		tr.Run(Params{NC: 2, NP: 8}, 10) // warm up
-		r, _ := tr.Run(Params{NC: 2, NP: 8}, 20)
+		tr.Run(context.Background(), Params{NC: 2, NP: 8}, 10) // warm up
+		r, _ := tr.Run(context.Background(), Params{NC: 2, NP: 8}, 20)
 		tr.Stop()
 		return r.Throughput
 	}
@@ -205,8 +206,8 @@ func TestTrafficLoadReducesThroughput(t *testing.T) {
 		f, _ := testFabric(t, 9)
 		f.SetLoad(load.Constant(load.Load{Tfr: tfr}), nil)
 		tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded, Policy: RestartOnChange})
-		tr.Run(Params{NC: 2, NP: 8}, 30) // warm up: external flows ramp too
-		r, _ := tr.Run(Params{NC: 2, NP: 8}, 30)
+		tr.Run(context.Background(), Params{NC: 2, NP: 8}, 30) // warm up: external flows ramp too
+		r, _ := tr.Run(context.Background(), Params{NC: 2, NP: 8}, 30)
 		tr.Stop()
 		return r.Throughput
 	}
@@ -221,8 +222,8 @@ func TestMoreConcurrencyHelpsUnderComputeLoad(t *testing.T) {
 		f, _ := testFabric(t, 10)
 		f.SetLoad(load.Constant(load.Load{Cmp: 16}), nil)
 		tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded, Policy: RestartOnChange})
-		tr.Run(Params{NC: nc, NP: 1}, 10)
-		r, _ := tr.Run(Params{NC: nc, NP: 1}, 20)
+		tr.Run(context.Background(), Params{NC: nc, NP: 1}, 10)
+		r, _ := tr.Run(context.Background(), Params{NC: nc, NP: 1}, 20)
 		tr.Stop()
 		return r.Throughput
 	}
@@ -236,9 +237,9 @@ func TestLoadScheduleStep(t *testing.T) {
 	f, _ := testFabric(t, 11)
 	f.SetLoad(load.Step(15, load.Load{Cmp: 32}, load.Load{}), nil)
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded, Policy: RestartOnChange})
-	rLoaded, _ := tr.Run(Params{NC: 2, NP: 8}, 15)
-	tr.Run(Params{NC: 2, NP: 8}, 10) // ramp after load drop
-	rFree, _ := tr.Run(Params{NC: 2, NP: 8}, 10)
+	rLoaded, _ := tr.Run(context.Background(), Params{NC: 2, NP: 8}, 15)
+	tr.Run(context.Background(), Params{NC: 2, NP: 8}, 10) // ramp after load drop
+	rFree, _ := tr.Run(context.Background(), Params{NC: 2, NP: 8}, 10)
 	tr.Stop()
 	if rFree.Throughput <= 2*rLoaded.Throughput {
 		t.Fatalf("load release: %v -> %v, want large gain", rLoaded.Throughput, rFree.Throughput)
@@ -256,7 +257,7 @@ func TestTwoTransfersLockstep(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				r, err := a.Run(Params{NC: 2, NP: 2}, 5)
+				r, err := a.Run(context.Background(), Params{NC: 2, NP: 2}, 5)
 				if err != nil {
 					t.Error(err)
 					return
@@ -268,7 +269,7 @@ func TestTwoTransfersLockstep(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				r, err := b.Run(Params{NC: 4, NP: 2}, 5)
+				r, err := b.Run(context.Background(), Params{NC: 4, NP: 2}, 5)
 				if err != nil {
 					t.Error(err)
 					return
@@ -298,7 +299,7 @@ func TestStopReleasesBarrier(t *testing.T) {
 	go func() {
 		// b never runs; stopping it must unblock a.
 		b.Stop()
-		if _, err := a.Run(Params{NC: 1, NP: 1}, 2); err != nil {
+		if _, err := a.Run(context.Background(), Params{NC: 1, NP: 1}, 2); err != nil {
 			t.Error(err)
 		}
 		a.Stop()
@@ -320,7 +321,7 @@ func TestSecondPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded, Path: p2})
-	r, err := tr.Run(Params{NC: 4, NP: 4}, 10)
+	r, err := tr.Run(context.Background(), Params{NC: 4, NP: 4}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,13 +337,13 @@ func TestSecondPath(t *testing.T) {
 func TestNowTracksTransferTime(t *testing.T) {
 	f, _ := testFabric(t, 14)
 	warm, _ := f.NewTransfer(TransferConfig{Name: "warm", Bytes: Unbounded})
-	warm.Run(Params{NC: 1, NP: 1}, 5)
+	warm.Run(context.Background(), Params{NC: 1, NP: 1}, 5)
 	warm.Stop()
 	tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded})
 	if tr.Now() != 0 {
 		t.Fatalf("Now() before first Run = %v, want 0", tr.Now())
 	}
-	r, _ := tr.Run(Params{NC: 1, NP: 1}, 5)
+	r, _ := tr.Run(context.Background(), Params{NC: 1, NP: 1}, 5)
 	if r.Start != 0 {
 		t.Fatalf("first epoch Start = %v, want 0 (transfer-relative)", r.Start)
 	}
@@ -387,8 +388,8 @@ func TestThirdPartyTrafficNetworkOnly(t *testing.T) {
 		f.SetLoad(load.Constant(l), nil)
 		tr, _ := f.NewTransfer(TransferConfig{Name: "t", Bytes: Unbounded})
 		defer tr.Stop()
-		tr.Run(Params{NC: 2, NP: 8}, 30) // warm up; externals ramp
-		r, err := tr.Run(Params{NC: 2, NP: 8}, 30)
+		tr.Run(context.Background(), Params{NC: 2, NP: 8}, 30) // warm up; externals ramp
+		r, err := tr.Run(context.Background(), Params{NC: 2, NP: 8}, 30)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -417,7 +418,7 @@ func TestByteConservationAcrossRestarts(t *testing.T) {
 	var sum float64
 	nc := 1
 	for i := 0; i < 500; i++ {
-		r, err := tr.Run(Params{NC: nc, NP: 2}, 4)
+		r, err := tr.Run(context.Background(), Params{NC: nc, NP: 2}, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -446,7 +447,7 @@ func TestSimultaneousDeterminismViaFabric(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 6; i++ {
-				r, _ := a.Run(Params{NC: 1 + i%2, NP: 2}, 3)
+				r, _ := a.Run(context.Background(), Params{NC: 1 + i%2, NP: 2}, 3)
 				ab += r.Bytes
 			}
 			a.Stop()
@@ -454,7 +455,7 @@ func TestSimultaneousDeterminismViaFabric(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				r, _ := b.Run(Params{NC: 3, NP: 1}, 4.5)
+				r, _ := b.Run(context.Background(), Params{NC: 3, NP: 1}, 4.5)
 				bb += r.Bytes
 			}
 			b.Stop()

@@ -13,8 +13,10 @@
 package xfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Params are the tunable transfer parameters.
@@ -94,6 +96,10 @@ type Report struct {
 	// Retries counts the connection attempts beyond the first that the
 	// epoch needed (real-socket transfers only).
 	Retries int
+	// Run is the 1-based sequence number of the Run call that produced
+	// this report within the transferer's current session — a restart
+	// diagnostic for real-socket transfers; zero when unreported.
+	Run int
 	// Done reports that the transfer completed during this epoch.
 	Done bool
 }
@@ -105,15 +111,74 @@ type Report struct {
 type Transferer interface {
 	// Run transfers data with parameters p for epoch seconds (less if
 	// the transfer completes) and returns the epoch's report.
-	Run(p Params, epoch float64) (Report, error)
+	//
+	// Cancelling ctx aborts the epoch promptly — including any retry
+	// backoff or failed-epoch pacing an implementation performs — and
+	// Run returns the partial epoch's report (byte accounting already
+	// settled as far as the implementation can) together with the
+	// context's error. A cancelled transfer is not stopped: the caller
+	// may checkpoint its state and resume it later.
+	Run(ctx context.Context, p Params, epoch float64) (Report, error)
 	// Remaining returns the bytes left to transfer.
 	Remaining() float64
 	// Now returns the transfer clock in seconds since the start.
 	Now() float64
 	// Stop abandons the transfer, releasing its resources. Stopping a
 	// completed transfer is a no-op. After Stop, Run returns an
-	// error.
+	// error. Stop aborts an in-flight Run promptly.
 	Stop()
+}
+
+// TransferState is the durable state of a transfer, captured for
+// checkpointing. Byte totals use -1 for unbounded transfers so the
+// state serializes as plain JSON.
+type TransferState struct {
+	// Total is the transfer's configured volume in bytes; -1 when
+	// unbounded.
+	Total float64 `json:"total_bytes"`
+	// Acked is the receiver-confirmed volume in bytes: what the far
+	// end has counted, not what sits in socket buffers. Simulated
+	// transfers report delivered bytes.
+	Acked float64 `json:"acked_bytes"`
+	// Remaining is the sender's account of the bytes left; -1 when
+	// unbounded.
+	Remaining float64 `json:"remaining_bytes"`
+	// Clock is the transfer clock in seconds (cumulative across
+	// resumed sessions).
+	Clock float64 `json:"clock_seconds"`
+	// Token identifies the transfer on the far end, when the transport
+	// has one (real-socket transfers).
+	Token string `json:"token,omitempty"`
+}
+
+// Snapshotter is implemented by transferers whose durable state can be
+// captured mid-transfer for checkpoint/resume.
+type Snapshotter interface {
+	// Snapshot returns the transfer's current durable state.
+	Snapshot() TransferState
+}
+
+// Finite maps +Inf to the -1 "unbounded" sentinel used by
+// TransferState; finite values pass through.
+func Finite(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return -1
+	}
+	return v
+}
+
+// CaptureState snapshots t: its own Snapshot when it implements
+// Snapshotter, otherwise the clock and remaining volume alone.
+func CaptureState(t Transferer) TransferState {
+	if s, ok := t.(Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return TransferState{
+		Total:     -1,
+		Acked:     0,
+		Remaining: Finite(t.Remaining()),
+		Clock:     t.Now(),
+	}
 }
 
 // ErrTransient marks a transfer error as transient: the epoch failed
