@@ -1,0 +1,96 @@
+// benchjson converts `go test -bench` output on stdin into a JSON
+// summary on stdout: benchmark name → ns/op and allocs/op. CI runs it
+// after the bench job and uploads the result as the BENCH_ci.json
+// artifact, so regressions diff as one small file instead of raw logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./cmd/benchjson > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's summary row.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]result, len(results))
+	for _, n := range names {
+		ordered[n] = results[n]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine reads one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimEpoch-8  42  123456 ns/op  2048 B/op  12 allocs/op
+//
+// Lines that are not benchmark results report ok=false. The -N GOMAXPROCS
+// suffix is kept: it is part of the benchmark's identity in CI.
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	r := result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if !seen {
+		return "", result{}, false
+	}
+	return fields[0], r, true
+}

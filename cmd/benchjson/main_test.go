@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkSimEpoch-8  \t42\t123456 ns/op\t2048 B/op\t12 allocs/op")
+	if !ok {
+		t.Fatal("result line not parsed")
+	}
+	if name != "BenchmarkSimEpoch-8" {
+		t.Fatalf("name = %q", name)
+	}
+	if r.Iterations != 42 || r.NsPerOp != 123456 || r.BytesPerOp != 2048 || r.AllocsPerOp != 12 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	if _, _, ok := parseLine("BenchmarkNoMem-4 10 98.5 ns/op"); !ok {
+		t.Fatal("line without -benchmem columns rejected")
+	}
+	for _, line := range []string{
+		"ok  \tdstune\t0.5s",
+		"goos: linux",
+		"PASS",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoUnits-8 10 12",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("non-result line parsed: %q", line)
+		}
+	}
+}

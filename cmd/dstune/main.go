@@ -26,6 +26,11 @@
 //	       -bytes 5e9 -checkpoint run.ck
 //	^C
 //	dstune -mode socket -addr 127.0.0.1:7632 -resume run.ck
+//
+// Many tuned sessions can run in one process under one scheduler
+// (-fleet FILE); the JSON spec format is documented in fleet.go:
+//
+//	dstune -fleet fleet.json
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 	log.SetPrefix("dstune: ")
 
 	mode := flag.String("mode", "sim", "sim or socket")
+	fleetPath := flag.String("fleet", "", "drive many tuned sessions from one scheduler: JSON spec file (see cmd/dstune/fleet.go)")
 	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2")
 	duration := flag.Float64("duration", 1800, "transfer budget in seconds (virtual in sim mode, wall-clock in socket mode)")
 	epoch := flag.Float64("epoch", 0, "control epoch seconds (default 30 sim, 0.25 socket)")
@@ -85,6 +91,13 @@ func main() {
 	diskRate := flag.Float64("disk-rate", 2e9, "source storage bandwidth in bytes/s (disk mode)")
 	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
 	flag.Parse()
+
+	if *fleetPath != "" {
+		if err := runFleet(*fleetPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// A resumed run adopts the checkpoint's tuner and seed and rebuilds
 	// the transfer from its recorded state; only socket-mode transfers

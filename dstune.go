@@ -253,6 +253,49 @@ func NewModel(cfg TunerConfig) Tuner { return tuner.NewModel(cfg) }
 // NewStatic returns the non-adaptive baseline (the paper's `default`).
 func NewStatic(cfg TunerConfig) Tuner { return tuner.NewStatic(cfg) }
 
+// Strategy state machines and the shared epoch Driver. Every tuner
+// above is a Strategy (an explicit propose/observe state machine with
+// JSON-serializable state) composed with the Driver that owns the
+// epoch loop, budget, transient tolerance, and checkpointing; the
+// pieces are exported so custom strategies get the same machinery and
+// one process can drive many strategies concurrently (see Fleet).
+type (
+	// Strategy is a tuner's decision kernel: Propose a vector, run an
+	// epoch, Observe the report, repeat. Snapshot/Restore round-trip
+	// its complete state for O(1) checkpoint resume.
+	Strategy = tuner.Strategy
+	// Driver paces one Strategy against one Transferer, owning the
+	// epoch loop, budget, transient-failure counting, and
+	// checkpointing.
+	Driver = tuner.Driver
+	// Fleet drives N (strategy, transfers) sessions concurrently from
+	// one scheduler loop with shared accounting.
+	Fleet = tuner.Fleet
+	// FleetConfig parameterizes a Fleet (epoch, budget, transient
+	// tolerance).
+	FleetConfig = tuner.FleetConfig
+	// FleetSession is one (strategy, transfers) pairing of a Fleet.
+	FleetSession = tuner.FleetSession
+	// FleetSessionResult is one session's outcome: per-transfer
+	// traces, total bytes, terminal error.
+	FleetSessionResult = tuner.SessionResult
+)
+
+// NewStrategy builds the named strategy — one of "default",
+// "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model" —
+// from cfg.
+func NewStrategy(name string, cfg TunerConfig) (Strategy, error) { return tuner.NewStrategy(name, cfg) }
+
+// NewDriver returns a Driver for cfg; its Run method drives any
+// Strategy against a Transferer.
+func NewDriver(cfg TunerConfig) *Driver { return tuner.NewDriver(cfg) }
+
+// NewFleet returns a Fleet over the given sessions; its Run method
+// drives them all concurrently until each ends.
+func NewFleet(cfg FleetConfig, sessions ...FleetSession) *Fleet {
+	return tuner.NewFleet(cfg, sessions...)
+}
+
 // Direct search (usable standalone for offline optimization).
 type (
 	// Box is a bounded integer search domain; its Clamp method is

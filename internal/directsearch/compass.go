@@ -1,6 +1,11 @@
 package directsearch
 
-import "dstune/internal/sim"
+import (
+	"fmt"
+
+	"dstune/internal/ivec"
+	"dstune/internal/sim"
+)
 
 // CompassConfig parameterizes compass search.
 type CompassConfig struct {
@@ -80,10 +85,10 @@ func (c *Compass) refill() {
 		if j%2 == 1 {
 			sign = -1
 		}
-		x := toFloat(c.incumbent)
+		x := ivec.ToFloat(c.incumbent)
 		x[dim] += sign * c.lambda
 		cand := c.box.Clamp(x)
-		if equal(cand, c.incumbent) {
+		if ivec.Equal(cand, c.incumbent) {
 			continue // projection or rounding collapsed the move
 		}
 		c.queue = append(c.queue, cand)
@@ -96,7 +101,7 @@ func (c *Compass) Suggest() ([]int, bool) {
 		return nil, true
 	}
 	if c.pend.set {
-		return clone(c.pend.x), false
+		return ivec.Clone(c.pend.x), false
 	}
 	if c.evals >= c.cfg.MaxEvals {
 		c.done = true
@@ -105,7 +110,7 @@ func (c *Compass) Suggest() ([]int, bool) {
 	// First evaluation: the starting point itself.
 	if !c.haveInc {
 		c.pend.propose(c.incumbent)
-		return clone(c.pend.x), false
+		return ivec.Clone(c.pend.x), false
 	}
 	// Keep halving until a pollable candidate exists or we converge.
 	for len(c.queue) == 0 {
@@ -118,7 +123,7 @@ func (c *Compass) Suggest() ([]int, bool) {
 	}
 	c.pend.propose(c.queue[0])
 	c.queue = c.queue[1:]
-	return clone(c.pend.x), false
+	return ivec.Clone(c.pend.x), false
 }
 
 // Observe implements Searcher.
@@ -151,39 +156,90 @@ func (c *Compass) Observe(f float64) {
 }
 
 // Best implements Searcher.
-func (c *Compass) Best() ([]int, float64) { return clone(c.best.x), c.best.f }
+func (c *Compass) Best() ([]int, float64) { return ivec.Clone(c.best.x), c.best.f }
 
-// CompassState is a JSON-friendly snapshot of a compass search's
-// position: the current step size, incumbent, and remaining polling
-// queue. It is diagnostic state recorded in checkpoints; resumption
-// reconstructs the search by deterministic replay rather than by
-// loading it.
+// CompassState is the complete JSON-serializable state of a compass
+// search: the step size, incumbent, remaining polling queue, the
+// ask/tell handshake, and the best observation. Snapshot and
+// NewCompassFromState round-trip it exactly, so a checkpointed search
+// resumes in O(1) without replaying its evaluation history.
 type CompassState struct {
-	Kind       string  `json:"kind"`
-	Lambda     float64 `json:"lambda"`
-	Incumbent  []int   `json:"incumbent,omitempty"`
-	FIncumbent float64 `json:"f_incumbent"`
-	Queue      [][]int `json:"queue,omitempty"`
-	Evals      int     `json:"evals"`
-	Done       bool    `json:"done"`
+	Kind          string    `json:"kind"`
+	Lambda        float64   `json:"lambda"`
+	Incumbent     []int     `json:"incumbent,omitempty"`
+	FIncumbent    float64   `json:"f_incumbent"`
+	HaveIncumbent bool      `json:"have_incumbent"`
+	Queue         [][]int   `json:"queue,omitempty"`
+	Pending       PendState `json:"pending"`
+	Best          BestState `json:"best"`
+	Evals         int       `json:"evals"`
+	Done          bool      `json:"done"`
 }
 
 // Snapshot captures the search's current state.
 func (c *Compass) Snapshot() CompassState {
 	queue := make([][]int, len(c.queue))
 	for i, q := range c.queue {
-		queue[i] = clone(q)
+		queue[i] = ivec.Clone(q)
 	}
 	return CompassState{
-		Kind:       "compass",
-		Lambda:     c.lambda,
-		Incumbent:  clone(c.incumbent),
-		FIncumbent: c.fIncumbent,
-		Queue:      queue,
-		Evals:      c.evals,
-		Done:       c.done,
+		Kind:          "compass",
+		Lambda:        c.lambda,
+		Incumbent:     ivec.Clone(c.incumbent),
+		FIncumbent:    c.fIncumbent,
+		HaveIncumbent: c.haveInc,
+		Queue:         queue,
+		Pending:       c.pend.state(),
+		Best:          c.best.state(),
+		Evals:         c.evals,
+		Done:          c.done,
 	}
 }
 
+// NewCompassFromState rebuilds a compass search from a Snapshot. The
+// box and cfg are not part of the state and must match the original
+// construction; rng must be positioned where the original stream was
+// (see sim.RNG.UnmarshalBinary). The state is validated against the
+// box so a corrupt checkpoint fails here rather than panicking later.
+func NewCompassFromState(st CompassState, box Box, cfg CompassConfig, rng *sim.RNG) (*Compass, error) {
+	if st.Kind != "compass" {
+		return nil, fmt.Errorf("directsearch: compass state has kind %q", st.Kind)
+	}
+	if len(st.Incumbent) != box.Dim() {
+		return nil, fmt.Errorf("directsearch: compass incumbent has %d dims, box has %d", len(st.Incumbent), box.Dim())
+	}
+	if st.Lambda <= 0 || st.Evals < 0 {
+		return nil, fmt.Errorf("directsearch: compass state has lambda %v, evals %d", st.Lambda, st.Evals)
+	}
+	for _, q := range st.Queue {
+		if len(q) != box.Dim() || !box.Contains(q) {
+			return nil, fmt.Errorf("directsearch: compass queue entry %v outside box", q)
+		}
+	}
+	c := &Compass{
+		box:        box,
+		cfg:        cfg.withDefaults(),
+		rng:        rng,
+		lambda:     st.Lambda,
+		incumbent:  ivec.Clone(st.Incumbent),
+		fIncumbent: st.FIncumbent,
+		haveInc:    st.HaveIncumbent,
+		evals:      st.Evals,
+		done:       st.Done,
+	}
+	c.queue = make([][]int, len(st.Queue))
+	for i, q := range st.Queue {
+		c.queue[i] = ivec.Clone(q)
+	}
+	var err error
+	if c.pend, err = st.Pending.restore(box); err != nil {
+		return nil, err
+	}
+	if c.best, err = st.Best.restore(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Incumbent returns the current incumbent point and value.
-func (c *Compass) Incumbent() ([]int, float64) { return clone(c.incumbent), c.fIncumbent }
+func (c *Compass) Incumbent() ([]int, float64) { return ivec.Clone(c.incumbent), c.fIncumbent }

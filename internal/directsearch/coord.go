@@ -1,5 +1,7 @@
 package directsearch
 
+import "dstune/internal/ivec"
+
 // CoordConfig parameterizes the offline coordinate-descent searcher.
 type CoordConfig struct {
 	// Step is the initial move size along a coordinate; zero selects
@@ -89,10 +91,10 @@ func (c *Coord) advance() bool {
 // collapse onto the incumbent. It reports false when converged.
 func (c *Coord) candidate() ([]int, bool) {
 	for {
-		x := toFloat(c.inc)
+		x := ivec.ToFloat(c.inc)
 		x[c.dim] += c.sign * c.step
 		cand := c.box.Clamp(x)
-		if !equal(cand, c.inc) {
+		if !ivec.Equal(cand, c.inc) {
 			return cand, true
 		}
 		if !c.advance() {
@@ -107,7 +109,7 @@ func (c *Coord) Suggest() ([]int, bool) {
 		return nil, true
 	}
 	if c.pend.set {
-		return clone(c.pend.x), false
+		return ivec.Clone(c.pend.x), false
 	}
 	if c.evals >= c.cfg.MaxEvals {
 		c.done = true
@@ -115,7 +117,7 @@ func (c *Coord) Suggest() ([]int, bool) {
 	}
 	if !c.haveInc {
 		c.pend.propose(c.inc)
-		return clone(c.pend.x), false
+		return ivec.Clone(c.pend.x), false
 	}
 	cand, ok := c.candidate()
 	if !ok {
@@ -123,7 +125,7 @@ func (c *Coord) Suggest() ([]int, bool) {
 		return nil, true
 	}
 	c.pend.propose(cand)
-	return clone(c.pend.x), false
+	return ivec.Clone(c.pend.x), false
 }
 
 // Observe implements Searcher.
@@ -149,4 +151,4 @@ func (c *Coord) Observe(f float64) {
 }
 
 // Best implements Searcher.
-func (c *Coord) Best() ([]int, float64) { return clone(c.best.x), c.best.f }
+func (c *Coord) Best() ([]int, float64) { return ivec.Clone(c.best.x), c.best.f }

@@ -16,7 +16,11 @@
 // problem.
 package directsearch
 
-import "fmt"
+import (
+	"fmt"
+
+	"dstune/internal/ivec"
+)
 
 // Searcher is the ask/tell interface shared by all methods.
 //
@@ -63,7 +67,7 @@ func NewBox(lo, hi []int) (Box, error) {
 			return Box{}, fmt.Errorf("directsearch: dimension %d has lo %d > hi %d", i, lo[i], hi[i])
 		}
 	}
-	return Box{lo: clone(lo), hi: clone(hi)}, nil
+	return Box{lo: ivec.Clone(lo), hi: ivec.Clone(hi)}, nil
 }
 
 // MustBox is NewBox that panics on error, for statically correct
@@ -146,33 +150,19 @@ func roundHalfAway(v float64) float64 {
 	return -float64(int(-v + 0.5))
 }
 
-// clone copies an int slice.
-func clone(x []int) []int {
-	out := make([]int, len(x))
-	copy(out, x)
-	return out
+// PendState is the serializable form of a searcher's ask/tell
+// handshake: the outstanding suggestion, if any.
+type PendState struct {
+	X   []int `json:"x,omitempty"`
+	Set bool  `json:"set"`
 }
 
-// equal reports whether two points coincide.
-func equal(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// toFloat converts an integer point to float64.
-func toFloat(x []int) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = float64(v)
-	}
-	return out
+// BestState is the serializable form of a searcher's best-observation
+// tracker.
+type BestState struct {
+	X []int   `json:"x,omitempty"`
+	F float64 `json:"f"`
+	N int     `json:"n"`
 }
 
 // pending tracks the ask/tell handshake shared by the searchers.
@@ -181,9 +171,23 @@ type pending struct {
 	set bool
 }
 
+// state captures the handshake for a snapshot.
+func (p *pending) state() PendState {
+	return PendState{X: ivec.Clone(p.x), Set: p.set}
+}
+
+// restore rebuilds the handshake from a snapshot, validating the
+// pending point against the box.
+func (s PendState) restore(box Box) (pending, error) {
+	if s.Set && len(s.X) != box.Dim() {
+		return pending{}, fmt.Errorf("directsearch: pending point has %d dims, box has %d", len(s.X), box.Dim())
+	}
+	return pending{x: ivec.Clone(s.X), set: s.Set}, nil
+}
+
 // propose records x as the outstanding suggestion.
 func (p *pending) propose(x []int) {
-	p.x = clone(x)
+	p.x = ivec.Clone(x)
 	p.set = true
 }
 
@@ -207,7 +211,20 @@ type best struct {
 func (b *best) update(x []int, f float64) {
 	b.n++
 	if b.n == 1 || f > b.f {
-		b.x = clone(x)
+		b.x = ivec.Clone(x)
 		b.f = f
 	}
+}
+
+// state captures the tracker for a snapshot.
+func (b *best) state() BestState {
+	return BestState{X: ivec.Clone(b.x), F: b.f, N: b.n}
+}
+
+// restore rebuilds the tracker from a snapshot.
+func (s BestState) restore() (best, error) {
+	if s.N < 0 {
+		return best{}, fmt.Errorf("directsearch: best tracker has %d observations", s.N)
+	}
+	return best{x: ivec.Clone(s.X), f: s.F, n: s.N}, nil
 }

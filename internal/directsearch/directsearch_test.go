@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dstune/internal/ivec"
 	"dstune/internal/sim"
 )
 
@@ -180,7 +181,7 @@ func TestSuggestIdempotent(t *testing.T) {
 	for name, s := range searchers([]int{2}, box, 6) {
 		x1, d1 := s.Suggest()
 		x2, d2 := s.Suggest()
-		if d1 || d2 || !equal(x1, x2) {
+		if d1 || d2 || !ivec.Equal(x1, x2) {
 			t.Errorf("%s: Suggest not idempotent: %v/%v", name, x1, x2)
 		}
 	}
@@ -259,7 +260,7 @@ func TestCompassIncumbentTracksBest(t *testing.T) {
 	Maximize(c, concave1D(20), 0)
 	x, f := c.Incumbent()
 	bx, bf := c.Best()
-	if !equal(x, bx) || f != bf {
+	if !ivec.Equal(x, bx) || f != bf {
 		t.Fatalf("incumbent (%v, %v) != best (%v, %v)", x, f, bx, bf)
 	}
 }
@@ -286,7 +287,7 @@ func TestNelderMeadPhases(t *testing.T) {
 func TestNelderMeadInitialSimplexNotDegenerate(t *testing.T) {
 	// Start at the upper bound: the offset vertex must flip downward.
 	nm := NewNelderMead([]int{64}, MustBox([]int{1}, []int{64}), NMConfig{})
-	if equal(nm.verts[0].x, nm.verts[1].x) {
+	if ivec.Equal(nm.verts[0].x, nm.verts[1].x) {
 		t.Fatalf("degenerate initial simplex: %v, %v", nm.verts[0].x, nm.verts[1].x)
 	}
 }
@@ -313,7 +314,7 @@ func TestCompassDeterministicPerSeed(t *testing.T) {
 		return x
 	}
 	a, b := runOnce(3), runOnce(3)
-	if !equal(a, b) {
+	if !ivec.Equal(a, b) {
 		t.Fatalf("same seed, different trajectories: %v vs %v", a, b)
 	}
 }

@@ -1,6 +1,11 @@
 package directsearch
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"dstune/internal/ivec"
+)
 
 // NMConfig parameterizes Nelder–Mead search. The paper sets the
 // customary coefficients R=1, E=2, C=0.5, S=0.5.
@@ -95,10 +100,10 @@ func NewNelderMead(start []int, box Box, cfg NMConfig) *NelderMead {
 	nm.verts = make([]vertex, m+1)
 	nm.verts[0] = vertex{x: s}
 	for j := 0; j < m; j++ {
-		x := toFloat(s)
+		x := ivec.ToFloat(s)
 		x[j] += nm.cfg.InitStep
 		v := box.Clamp(x)
-		if equal(v, s) {
+		if ivec.Equal(v, s) {
 			// Offset collapsed against the upper bound; go the other
 			// way so the simplex is not born degenerate.
 			x[j] = float64(s[j]) - nm.cfg.InitStep
@@ -126,10 +131,29 @@ func (nm *NelderMead) Phase() string {
 	return "done"
 }
 
+// parseNMPhase inverts Phase.
+func parseNMPhase(s string) (nmPhase, error) {
+	switch s {
+	case "init":
+		return nmInit, nil
+	case "reflect":
+		return nmReflect, nil
+	case "expand":
+		return nmExpand, nil
+	case "contract":
+		return nmContract, nil
+	case "shrink":
+		return nmShrink, nil
+	case "done":
+		return nmDone, nil
+	}
+	return 0, fmt.Errorf("directsearch: unknown Nelder-Mead phase %q", s)
+}
+
 // degenerate reports whether all vertices coincide.
 func (nm *NelderMead) degenerate() bool {
 	for _, v := range nm.verts[1:] {
-		if !equal(v.x, nm.verts[0].x) {
+		if !ivec.Equal(v.x, nm.verts[0].x) {
 			return false
 		}
 	}
@@ -169,7 +193,7 @@ func (nm *NelderMead) startIteration() {
 // replaceWorst swaps the worst vertex for (x, f) and begins the next
 // iteration.
 func (nm *NelderMead) replaceWorst(x []int, f float64) {
-	nm.verts[len(nm.verts)-1] = vertex{x: clone(x), f: f}
+	nm.verts[len(nm.verts)-1] = vertex{x: ivec.Clone(x), f: f}
 	nm.startIteration()
 }
 
@@ -177,9 +201,9 @@ func (nm *NelderMead) replaceWorst(x []int, f float64) {
 // the better of the worst vertex and the reflection point.
 func (nm *NelderMead) proposeContract() {
 	worst := nm.verts[len(nm.verts)-1]
-	xt := toFloat(worst.x)
+	xt := ivec.ToFloat(worst.x)
 	if nm.fr >= worst.f {
-		xt = toFloat(nm.xr)
+		xt = ivec.ToFloat(nm.xr)
 	}
 	x := make([]float64, len(nm.centroid))
 	for i := range x {
@@ -210,7 +234,7 @@ func (nm *NelderMead) Suggest() ([]int, bool) {
 		return nil, true
 	}
 	if nm.pend.set {
-		return clone(nm.pend.x), false
+		return ivec.Clone(nm.pend.x), false
 	}
 	if nm.evals >= nm.cfg.MaxEvals {
 		nm.phase = nmDone
@@ -228,7 +252,7 @@ func (nm *NelderMead) Suggest() ([]int, bool) {
 	case nmShrink:
 		nm.pend.propose(nm.verts[nm.shrinkIdx].x)
 	}
-	return clone(nm.pend.x), false
+	return ivec.Clone(nm.pend.x), false
 }
 
 // Observe implements Searcher.
@@ -292,7 +316,7 @@ func (nm *NelderMead) Observe(f float64) {
 }
 
 // Best implements Searcher.
-func (nm *NelderMead) Best() ([]int, float64) { return clone(nm.best.x), nm.best.f }
+func (nm *NelderMead) Best() ([]int, float64) { return ivec.Clone(nm.best.x), nm.best.f }
 
 // NMVertex is one simplex vertex of an NMState.
 type NMVertex struct {
@@ -300,27 +324,101 @@ type NMVertex struct {
 	F float64 `json:"f"`
 }
 
-// NMState is a JSON-friendly snapshot of a Nelder–Mead search: the
-// phase and the full simplex. It is diagnostic state recorded in
-// checkpoints; resumption reconstructs the search by deterministic
-// replay rather than by loading it.
+// NMState is the complete JSON-serializable state of a Nelder–Mead
+// search: the phase, the full simplex, the in-flight iteration points
+// (centroid, reflection, expansion, contraction), the ask/tell
+// handshake, and the best observation. Snapshot and
+// NewNelderMeadFromState round-trip it exactly, so a checkpointed
+// search resumes in O(1) without replaying its evaluation history.
 type NMState struct {
-	Kind    string     `json:"kind"`
-	Phase   string     `json:"phase"`
-	Simplex []NMVertex `json:"simplex"`
-	Evals   int        `json:"evals"`
+	Kind      string     `json:"kind"`
+	Phase     string     `json:"phase"`
+	Simplex   []NMVertex `json:"simplex"`
+	InitIdx   int        `json:"init_idx,omitempty"`
+	ShrinkIdx int        `json:"shrink_idx,omitempty"`
+	Centroid  []float64  `json:"centroid,omitempty"`
+	XR        []int      `json:"xr,omitempty"`
+	FR        float64    `json:"fr,omitempty"`
+	XE        []int      `json:"xe,omitempty"`
+	XC        []int      `json:"xc,omitempty"`
+	Pending   PendState  `json:"pending"`
+	Best      BestState  `json:"best"`
+	Evals     int        `json:"evals"`
 }
 
 // Snapshot captures the search's current state.
 func (nm *NelderMead) Snapshot() NMState {
 	simplex := make([]NMVertex, len(nm.verts))
 	for i, v := range nm.verts {
-		simplex[i] = NMVertex{X: clone(v.x), F: v.f}
+		simplex[i] = NMVertex{X: ivec.Clone(v.x), F: v.f}
 	}
 	return NMState{
-		Kind:    "nelder-mead",
-		Phase:   nm.Phase(),
-		Simplex: simplex,
-		Evals:   nm.evals,
+		Kind:      "nelder-mead",
+		Phase:     nm.Phase(),
+		Simplex:   simplex,
+		InitIdx:   nm.initIdx,
+		ShrinkIdx: nm.shrinkIdx,
+		Centroid:  append([]float64(nil), nm.centroid...),
+		XR:        ivec.Clone(nm.xr),
+		FR:        nm.fr,
+		XE:        ivec.Clone(nm.xe),
+		XC:        ivec.Clone(nm.xc),
+		Pending:   nm.pend.state(),
+		Best:      nm.best.state(),
+		Evals:     nm.evals,
 	}
+}
+
+// NewNelderMeadFromState rebuilds a Nelder–Mead search from a
+// Snapshot. The box and cfg are not part of the state and must match
+// the original construction. The state is validated so a corrupt
+// checkpoint fails here rather than panicking later.
+func NewNelderMeadFromState(st NMState, box Box, cfg NMConfig) (*NelderMead, error) {
+	if st.Kind != "nelder-mead" {
+		return nil, fmt.Errorf("directsearch: Nelder-Mead state has kind %q", st.Kind)
+	}
+	phase, err := parseNMPhase(st.Phase)
+	if err != nil {
+		return nil, err
+	}
+	m := box.Dim()
+	if len(st.Simplex) != m+1 {
+		return nil, fmt.Errorf("directsearch: simplex has %d vertices, box dim %d needs %d", len(st.Simplex), m, m+1)
+	}
+	nm := &NelderMead{box: box, cfg: cfg.withDefaults(), phase: phase}
+	nm.verts = make([]vertex, len(st.Simplex))
+	for i, v := range st.Simplex {
+		if len(v.X) != m {
+			return nil, fmt.Errorf("directsearch: simplex vertex %d has %d dims, want %d", i, len(v.X), m)
+		}
+		nm.verts[i] = vertex{x: ivec.Clone(v.X), f: v.F}
+	}
+	if st.InitIdx < 0 || st.InitIdx > len(nm.verts) ||
+		st.ShrinkIdx < 0 || st.ShrinkIdx > len(nm.verts) || st.Evals < 0 {
+		return nil, fmt.Errorf("directsearch: Nelder-Mead state has init_idx %d, shrink_idx %d, evals %d",
+			st.InitIdx, st.ShrinkIdx, st.Evals)
+	}
+	for _, pt := range [][]int{st.XR, st.XE, st.XC} {
+		if len(pt) != 0 && len(pt) != m {
+			return nil, fmt.Errorf("directsearch: Nelder-Mead working point %v has %d dims, want %d", pt, len(pt), m)
+		}
+	}
+	if len(st.Centroid) != 0 && len(st.Centroid) != m {
+		return nil, fmt.Errorf("directsearch: centroid has %d dims, want %d", len(st.Centroid), m)
+	}
+	nm.initIdx = st.InitIdx
+	nm.shrinkIdx = st.ShrinkIdx
+	nm.centroid = append([]float64(nil), st.Centroid...)
+	nm.xr = ivec.Clone(st.XR)
+	nm.fr = st.FR
+	nm.xe = ivec.Clone(st.XE)
+	nm.xc = ivec.Clone(st.XC)
+	nm.evals = st.Evals
+	if nm.pend, err = st.Pending.restore(box); err != nil {
+		return nil, err
+	}
+	if nm.best, err = st.Best.restore(); err != nil {
+		return nil, err
+	}
+	return nm, nil
 }

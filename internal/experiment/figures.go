@@ -3,7 +3,6 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"dstune/internal/directsearch"
 	"dstune/internal/load"
@@ -338,34 +337,44 @@ func Simultaneous(name string, rc RunConfig) (*SimultaneousResult, error) {
 		return nil, err
 	}
 
-	mk := func(seedOff uint64) (tuner.Tuner, error) {
+	// One Fleet, two sessions: each transfer gets its own strategy
+	// instance (offset seeds), and the scheduler runs their control
+	// epochs in the same lockstep rounds the two goroutine-driven
+	// tuners used to produce.
+	session := func(t xfer.Transferer, seedOff uint64) (tuner.FleetSession, error) {
 		cfg := rc.tunerCfg(true)
 		cfg.Seed += seedOff
-		return newTuner(name, cfg)
+		s, err := tuner.NewStrategy(name, cfg)
+		if err != nil {
+			return tuner.FleetSession{}, err
+		}
+		return tuner.FleetSession{
+			Name:      name,
+			Strategy:  s,
+			Transfers: []xfer.Transferer{t},
+			Maps:      []tuner.ParamMap{cfg.Map},
+		}, nil
 	}
-	tn1, err := mk(0)
+	s1, err := session(t1, 0)
 	if err != nil {
 		return nil, err
 	}
-	tn2, err := mk(1)
+	s2, err := session(t2, 1)
 	if err != nil {
 		return nil, err
 	}
-
-	var wg sync.WaitGroup
-	var tr1, tr2 *tuner.Trace
-	var err1, err2 error
-	wg.Add(2)
-	go func() { defer wg.Done(); tr1, err1 = tn1.Tune(context.Background(), t1) }()
-	go func() { defer wg.Done(); tr2, err2 = tn2.Tune(context.Background(), t2) }()
-	wg.Wait()
-	if err1 != nil {
-		return nil, err1
+	cfg := rc.tunerCfg(true)
+	fleet := tuner.NewFleet(tuner.FleetConfig{Epoch: cfg.Epoch, Budget: cfg.Budget}, s1, s2)
+	results, err := fleet.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	if err2 != nil {
-		return nil, err2
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
 	}
-	return &SimultaneousResult{Tuner: name, UChicago: tr1, TACC: tr2}, nil
+	return &SimultaneousResult{Tuner: name, UChicago: results[0].Traces[0], TACC: results[1].Traces[0]}, nil
 }
 
 // Improvement summarizes one scenario's default-vs-tuner outcome for

@@ -1,0 +1,36 @@
+// Package ivec holds the small integer-vector helpers shared by the
+// search and tuning packages: the tuned parameter vectors are plain
+// []int values that get cloned, compared, and lifted to float64 in
+// many places, and keeping one copy of those helpers keeps their
+// semantics (fresh allocations, length-sensitive equality) uniform.
+package ivec
+
+// Clone returns a fresh copy of x. Clone(nil) returns an empty,
+// non-nil slice, so callers can mutate the result unconditionally.
+func Clone(x []int) []int {
+	out := make([]int, len(x))
+	copy(out, x)
+	return out
+}
+
+// Equal reports whether a and b have the same length and elements.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToFloat converts x to float64 elementwise.
+func ToFloat(x []int) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}

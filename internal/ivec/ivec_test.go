@@ -1,0 +1,40 @@
+package ivec
+
+import "testing"
+
+func TestClone(t *testing.T) {
+	x := []int{1, 2, 3}
+	c := Clone(x)
+	c[0] = 9
+	if x[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if got := Clone(nil); got == nil || len(got) != 0 {
+		t.Fatalf("Clone(nil) = %#v, want empty non-nil slice", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{[]int{1}, nil, false},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{2, 1}, false},
+		{[]int{1, 2}, []int{1, 2, 3}, false},
+	}
+	for _, tc := range cases {
+		if got := Equal(tc.a, tc.b); got != tc.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	got := ToFloat([]int{1, -2})
+	if len(got) != 2 || got[0] != 1 || got[1] != -2 {
+		t.Fatalf("ToFloat = %v", got)
+	}
+}

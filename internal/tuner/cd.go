@@ -2,13 +2,41 @@ package tuner
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
+	"dstune/internal/ivec"
 	"dstune/internal/xfer"
 )
 
-// CD is the coordinate-descent tuner of the paper's Algorithm 1: a
-// ±1 walk on one parameter driven by the sign of the relative change
-// between the last two epoch throughputs.
+// Phases of the cd-tuner state machine.
+const (
+	cdPhaseStart = "start" // evaluating x0
+	cdPhaseProbe = "probe" // evaluating the initial upward probe
+	cdPhaseWalk  = "walk"  // the steady ±1 walk
+)
+
+// CDState is the serializable state of the cd-tuner: the last two
+// (vector, fitness) pairs the walk compares, the stall rotation, and
+// the precomputed next proposal.
+type CDState struct {
+	Phase string `json:"phase"`
+	// XPrev2 and F2 are the older of the two compared epochs.
+	XPrev2 []int   `json:"x_prev2,omitempty"`
+	F2     float64 `json:"f2,omitempty"`
+	// XPrev and F1 are the newer of the two compared epochs.
+	XPrev []int   `json:"x_prev,omitempty"`
+	F1    float64 `json:"f1,omitempty"`
+	// Rotation tracks the active coordinate and its stall count.
+	Rotation Rotation `json:"rotation"`
+	// Next is the vector Propose returns.
+	Next []int `json:"next"`
+}
+
+// CDStrategy is the coordinate-descent tuner of the paper's
+// Algorithm 1 as a propose/observe state machine: a ±1 walk on one
+// parameter driven by the sign of the relative change between the
+// last two epoch throughputs.
 //
 //   - Same vector twice with a significant throughput change (new
 //     congestion or freed bandwidth): probe upward.
@@ -22,6 +50,126 @@ import (
 // For multi-parameter tuning (the paper's §IV-B extension) the walk
 // applies to one coordinate at a time, rotating to the next after
 // StallEpochs consecutive holds and probing the new coordinate once.
+type CDStrategy struct {
+	cfg Config
+	st  CDState
+}
+
+// NewCDStrategy returns a cd-tuner strategy.
+func NewCDStrategy(cfg Config) *CDStrategy {
+	cfg = cfg.withDefaults()
+	return &CDStrategy{cfg: cfg, st: CDState{
+		Phase: cdPhaseStart,
+		Next:  cfg.Box.ClampInt(cfg.Start),
+	}}
+}
+
+// Name implements Strategy.
+func (c *CDStrategy) Name() string { return "cd-tuner" }
+
+// Propose implements Strategy.
+func (c *CDStrategy) Propose() ([]int, bool) { return ivec.Clone(c.st.Next), false }
+
+// step moves the active coordinate of x by d within bounds.
+func (c *CDStrategy) step(x []int, d int) []int {
+	out := ivec.Clone(x)
+	out[c.st.Rotation.Dim] += d
+	return c.cfg.Box.ClampInt(out)
+}
+
+// Observe implements Strategy.
+func (c *CDStrategy) Observe(rep xfer.Report) {
+	f := fitnessOf(c.cfg, rep)
+	switch c.st.Phase {
+	case cdPhaseStart:
+		// Lines 7-11: x0 evaluated; probe upward next.
+		c.st.XPrev2, c.st.F2 = c.st.Next, f
+		c.st.Next = c.step(c.st.XPrev2, +1)
+		c.st.Phase = cdPhaseProbe
+	case cdPhaseProbe:
+		c.st.XPrev, c.st.F1 = c.st.Next, f
+		c.st.Phase = cdPhaseWalk
+		c.st.Next = c.decide()
+	case cdPhaseWalk:
+		c.st.XPrev2, c.st.F2 = c.st.XPrev, c.st.F1
+		c.st.XPrev, c.st.F1 = c.st.Next, f
+		c.st.Next = c.decide()
+	}
+}
+
+// decide is the walk's decision kernel: compare the last two epochs
+// and pick the next vector, rotating the active coordinate after
+// repeated holds.
+func (c *CDStrategy) decide() []int {
+	st := &c.st
+	dim := st.Rotation.Dim
+	// Line 13: relative change between the last two epochs.
+	dc := delta(st.F2, st.F1)
+
+	var next []int
+	moved := st.XPrev[dim] != st.XPrev2[dim]
+	switch {
+	case !moved && (dc > c.cfg.Tolerance || dc < -c.cfg.Tolerance):
+		// External conditions shifted while we held still: probe.
+		next = c.step(st.XPrev, +1)
+	case moved:
+		// Line 15: slope per unit move of the active coordinate.
+		slope := dc / float64(st.XPrev[dim]-st.XPrev2[dim])
+		switch {
+		case slope > c.cfg.Tolerance:
+			next = c.step(st.XPrev, +1)
+		case slope < -c.cfg.Tolerance:
+			next = c.step(st.XPrev, -1)
+		default:
+			next = st.XPrev
+		}
+	default:
+		next = st.XPrev
+	}
+
+	// Multi-parameter extension: rotate after repeated holds.
+	if ivec.Equal(next, st.XPrev) {
+		if st.Rotation.Hold(c.cfg.Box.Dim(), c.cfg.StallEpochs) {
+			next = c.step(st.XPrev, +1) // probe the fresh coordinate once
+		}
+	} else {
+		st.Rotation.Progress()
+	}
+	return next
+}
+
+// Snapshot implements Strategy.
+func (c *CDStrategy) Snapshot() (json.RawMessage, error) { return json.Marshal(c.st) }
+
+// Restore implements Strategy.
+func (c *CDStrategy) Restore(raw json.RawMessage) error {
+	var st CDState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("tuner: cd state: %w", err)
+	}
+	dim := c.cfg.Box.Dim()
+	switch st.Phase {
+	case cdPhaseStart, cdPhaseProbe, cdPhaseWalk:
+	default:
+		return fmt.Errorf("tuner: cd state has unknown phase %q", st.Phase)
+	}
+	for name, x := range map[string][]int{"next": st.Next, "x_prev": st.XPrev, "x_prev2": st.XPrev2} {
+		if x == nil && name != "next" {
+			continue // legitimately absent before the walk phase
+		}
+		if len(x) != dim {
+			return fmt.Errorf("tuner: cd state %s has %d dims, box has %d", name, len(x), dim)
+		}
+	}
+	if st.Rotation.Dim < 0 || st.Rotation.Dim >= dim || st.Rotation.Stalls < 0 {
+		return fmt.Errorf("tuner: cd state rotation %+v out of range", st.Rotation)
+	}
+	c.st = st
+	return nil
+}
+
+// CD is the cd-tuner as a blocking Tuner: a CDStrategy under the
+// shared Driver.
 type CD struct {
 	cfg Config
 }
@@ -34,93 +182,5 @@ func (c *CD) Name() string { return "cd-tuner" }
 
 // Tune implements Tuner.
 func (c *CD) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(c.Name(), c.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	cfg := r.cfg
-	dim := 0
-	stalls := 0
-	r.searchState = func() any {
-		return map[string]any{"kind": "cd", "dim": dim, "stalls": stalls}
-	}
-
-	// step moves coordinate `dim` of x by d within bounds.
-	step := func(x []int, d int) []int {
-		out := make([]int, len(x))
-		copy(out, x)
-		out[dim] += d
-		return cfg.Box.ClampInt(out)
-	}
-
-	// Lines 7-11: evaluate x0 and its upward probe x1.
-	xPrev2 := cfg.Box.ClampInt(cfg.Start)
-	fPrev2, stop, err := r.run(ctx, xPrev2)
-	if err != nil || stop {
-		return r.tr, err
-	}
-	xPrev := step(xPrev2, +1)
-	fPrev, stop, err := r.run(ctx, xPrev)
-	if err != nil || stop {
-		return r.tr, err
-	}
-
-	for {
-		// Line 13: relative change between the last two epochs.
-		dc := delta(r.fitness(fPrev2), r.fitness(fPrev))
-
-		var next []int
-		moved := xPrev[dim] != xPrev2[dim]
-		switch {
-		case !moved && (dc > cfg.Tolerance || dc < -cfg.Tolerance):
-			// External conditions shifted while we held still: probe.
-			next = step(xPrev, +1)
-		case moved:
-			// Line 15: slope per unit move of the active coordinate.
-			slope := dc / float64(xPrev[dim]-xPrev2[dim])
-			switch {
-			case slope > cfg.Tolerance:
-				next = step(xPrev, +1)
-			case slope < -cfg.Tolerance:
-				next = step(xPrev, -1)
-			default:
-				next = xPrev
-			}
-		default:
-			next = xPrev
-		}
-
-		// Multi-parameter extension: rotate after repeated holds.
-		if equalInts(next, xPrev) {
-			stalls++
-			if len(cfg.Start) > 1 && stalls >= cfg.StallEpochs {
-				stalls = 0
-				dim = (dim + 1) % cfg.Box.Dim()
-				next = step(xPrev, +1) // probe the fresh coordinate once
-			}
-		} else {
-			stalls = 0
-		}
-
-		f, stop, err := r.run(ctx, next)
-		if err != nil || stop {
-			return r.tr, err
-		}
-		xPrev2, fPrev2 = xPrev, fPrev
-		xPrev, fPrev = next, f
-	}
-}
-
-// equalInts reports whether two vectors coincide.
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return tuneWith(ctx, c.cfg, t, func(cfg Config) Strategy { return NewCDStrategy(cfg) })
 }

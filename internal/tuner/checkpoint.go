@@ -12,8 +12,10 @@ import (
 
 // CheckpointVersion is the checkpoint format version this build
 // writes and reads. LoadCheckpoint and Config.Resume reject other
-// versions rather than guess at their layout.
-const CheckpointVersion = 1
+// versions rather than guess at their layout. Version 2 replaced the
+// diagnostic Search snapshot with the authoritative Strategy state,
+// making resume a direct deserialization instead of a replay.
+const CheckpointVersion = 2
 
 // ErrInterrupted is returned by Tune when the run was stopped by the
 // Config.Drain channel: the in-flight epoch completed, the final
@@ -28,18 +30,18 @@ type EpochRecord struct {
 	// Report is the transfer's account of the epoch.
 	Report xfer.Report `json:"report"`
 	// Transient marks a tolerated transient-failure epoch (recorded
-	// as zero throughput); replay uses it to restore the consecutive
-	// failure counter.
+	// as zero throughput); replay validation uses it to restore the
+	// consecutive failure counter.
 	Transient bool `json:"transient,omitempty"`
 }
 
 // Checkpoint is the durable state of a tuned transfer, written after
-// every control epoch. Resumption is by deterministic replay: a fresh
-// tuner re-observes Trace in order, which reconstructs its in-memory
-// search state exactly, and then continues live — so Trace is the
-// authoritative state, while Search is a diagnostic snapshot of the
-// inner search (compass step size and queue, Nelder–Mead simplex,
-// RNG stream position) for inspection.
+// every control epoch. Strategy is the authoritative tuner state: a
+// resume deserializes it directly and continues in O(1), without
+// re-running or replaying any epoch. Trace holds the recorded epochs
+// for reporting — and, with Config.ValidateResume, for the opt-in
+// divergence check that rebuilds the strategy by replay and verifies
+// every recorded proposal.
 type Checkpoint struct {
 	// Version is the format version; see CheckpointVersion.
 	Version int `json:"version"`
@@ -56,9 +58,11 @@ type Checkpoint struct {
 	// Transfer is the transfer's durable state: bytes acked by the
 	// receiver, bytes remaining, and the cumulative transfer clock.
 	Transfer xfer.TransferState `json:"transfer"`
-	// Search is the tuner's diagnostic search-state snapshot, when the
-	// tuner provides one.
-	Search json.RawMessage `json:"search,omitempty"`
+	// Strategy is the tuner's complete serialized state machine —
+	// phase, incumbents, compass queue and step size, Nelder–Mead
+	// simplex, stall rotation, ε-monitor, RNG stream position — taken
+	// after the last recorded epoch was observed.
+	Strategy json.RawMessage `json:"strategy,omitempty"`
 	// Trace holds every recorded epoch in order.
 	Trace []EpochRecord `json:"trace"`
 }
@@ -135,31 +139,4 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("tuner: checkpoint %s is corrupt: %d epochs but %d trace records", path, ck.Epochs, len(ck.Trace))
 	}
 	return &ck, nil
-}
-
-// checkpoint snapshots the run's durable state to the configured
-// writer; with no writer configured it is a no-op. Replayed epochs do
-// not checkpoint — run only calls this for live epochs.
-func (r *runner) checkpoint() error {
-	if r.cfg.Checkpoint == nil {
-		return nil
-	}
-	ck := &Checkpoint{
-		Version:    CheckpointVersion,
-		Tuner:      r.tr.Tuner,
-		Seed:       r.cfg.Seed,
-		Epochs:     len(r.records),
-		Transients: r.transients,
-		Transfer:   xfer.CaptureState(r.t),
-		Trace:      append([]EpochRecord(nil), r.records...),
-	}
-	if r.searchState != nil {
-		if raw, err := json.Marshal(r.searchState()); err == nil {
-			ck.Search = raw
-		}
-	}
-	if err := r.cfg.Checkpoint.Save(ck); err != nil {
-		return fmt.Errorf("tuner: checkpoint: %w", err)
-	}
-	return nil
 }

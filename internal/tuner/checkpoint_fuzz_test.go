@@ -1,0 +1,69 @@
+package tuner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadCheckpoint feeds arbitrary bytes through the checkpoint
+// loader and, when a checkpoint is accepted, through every strategy's
+// Restore. Corrupt or truncated input must surface as an error — never
+// a panic — and anything accepted must satisfy the loader's invariants.
+func FuzzLoadCheckpoint(f *testing.F) {
+	// Seed the corpus with a real checkpoint, truncations of it, and
+	// hand-corrupted variants.
+	ck := &Checkpoint{
+		Version:  CheckpointVersion,
+		Tuner:    "cs-tuner",
+		Seed:     7,
+		Epochs:   1,
+		Strategy: json.RawMessage(`{"Phase":"search","Monitor":{"Last":0,"Armed":false}}`),
+		Trace: []EpochRecord{
+			{X: []int{2}},
+		},
+	}
+	valid, err := json.Marshal(ck)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":2,"epochs":3,"trace":[]}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":2,"strategy":{"Phase":"bogus"}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	names := strategyNames()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := LoadCheckpoint(path)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if ck.Version != CheckpointVersion {
+			t.Fatalf("loader accepted version %d", ck.Version)
+		}
+		if ck.Epochs != len(ck.Trace) {
+			t.Fatalf("loader accepted %d epochs with %d trace records", ck.Epochs, len(ck.Trace))
+		}
+		// An accepted checkpoint's strategy state must restore cleanly
+		// or error — arbitrary raw state must never panic a strategy.
+		if len(ck.Strategy) == 0 {
+			return
+		}
+		for _, name := range names {
+			s, err := NewStrategy(name, simCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Restore(ck.Strategy)
+		}
+	})
+}

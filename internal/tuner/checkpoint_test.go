@@ -202,6 +202,7 @@ func TestResumeDivergenceDetected(t *testing.T) {
 	}
 	cfg := cfg1D(100) // Start {2}: the static tuner proposes {2}, not {5}
 	cfg.Resume = ck
+	cfg.ValidateResume = true
 	_, err := NewStatic(cfg).Tune(context.Background(), newFake(peaked(10)))
 	if err == nil {
 		t.Fatal("diverged resume did not fail")

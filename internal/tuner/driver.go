@@ -1,0 +1,281 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dstune/internal/ivec"
+	"dstune/internal/xfer"
+)
+
+// Driver owns the control-epoch loop every tuner shares: it paces a
+// Strategy against a transfer one epoch at a time, enforces the time
+// budget, tolerates transient epoch failures, and checkpoints after
+// every epoch. The seven tuners are thin Strategy + Driver
+// compositions; custom strategies get the same machinery through
+// NewDriver directly.
+type Driver struct {
+	cfg Config
+}
+
+// NewDriver returns a driver for cfg. Run validates the configuration.
+func NewDriver(cfg Config) *Driver { return &Driver{cfg: cfg} }
+
+// Run drives s against t until the transfer completes, the budget is
+// reached, or s stops proposing, then stops the transfer and returns
+// the per-epoch trace.
+//
+// With cfg.Resume set, Run first restores s from the checkpoint's
+// serialized strategy state and preloads the recorded trace — an O(1)
+// continuation that never re-runs an epoch. With cfg.ValidateResume
+// set it instead rebuilds s by replaying the recorded reports through
+// it, verifying that every proposal matches what the checkpoint
+// recorded; a mismatch (a changed configuration) fails loudly.
+//
+// Cancelling ctx aborts the in-flight epoch promptly and returns the
+// trace so far with the context's error; closing cfg.Drain instead
+// finishes the in-flight epoch first and returns ErrInterrupted.
+// Either way a final checkpoint is written (when configured) and the
+// transfer is left running — not stopped — so a later run can resume.
+func (d *Driver) Run(ctx context.Context, s Strategy, t xfer.Transferer) (*Trace, error) {
+	if err := d.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &session{cfg: d.cfg.withDefaults(), s: s, t: t, tr: &Trace{Tuner: s.Name()}}
+	if ck := d.cfg.Resume; ck != nil {
+		if err := r.resume(ck); err != nil {
+			return nil, err
+		}
+	}
+	defer r.close()
+	return r.loop(ctx)
+}
+
+// session is one Driver.Run in flight.
+type session struct {
+	cfg Config
+	s   Strategy
+	t   xfer.Transferer
+	tr  *Trace
+	// records mirrors tr.Results with the transient flag attached —
+	// the trace a checkpoint carries.
+	records []EpochRecord
+	// transients counts consecutive transient epoch failures.
+	transients int
+	// preserve suppresses Stop on close: set when the run is
+	// interrupted, because stopping the transfer would discard state a
+	// resumed run needs (a real-socket Stop deletes the server-side
+	// byte account).
+	preserve bool
+}
+
+// resume validates ck against the strategy and restores the session
+// mid-trajectory: the recorded epochs are preloaded into the trace and
+// the strategy state is either deserialized directly (the default) or
+// rebuilt by replaying the recorded reports (cfg.ValidateResume).
+func (r *session) resume(ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("tuner: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Tuner != r.s.Name() {
+		return fmt.Errorf("tuner: checkpoint belongs to %q, cannot resume with %q", ck.Tuner, r.s.Name())
+	}
+	if ck.Epochs != len(ck.Trace) {
+		return fmt.Errorf("tuner: corrupt checkpoint: %d epochs but %d trace records", ck.Epochs, len(ck.Trace))
+	}
+	r.cfg.Seed = ck.Seed
+	if len(ck.Trace) == 0 {
+		return nil
+	}
+	if r.cfg.ValidateResume {
+		return r.replay(ck)
+	}
+	if len(ck.Strategy) == 0 {
+		return errors.New("tuner: checkpoint has no strategy state; set ValidateResume to rebuild it by replay")
+	}
+	if err := r.s.Restore(ck.Strategy); err != nil {
+		return fmt.Errorf("tuner: resume: %w", err)
+	}
+	for _, rec := range ck.Trace {
+		r.record(rec.X, rec.Report, rec.Transient)
+	}
+	r.transients = ck.Transients
+	return nil
+}
+
+// replay rebuilds the strategy state by feeding the recorded reports
+// through a fresh strategy, verifying that each proposal matches the
+// vector the original run recorded — the opt-in divergence check for
+// resumes whose configuration may have drifted.
+func (r *session) replay(ck *Checkpoint) error {
+	for _, rec := range ck.Trace {
+		x, done := r.s.Propose()
+		if done {
+			return fmt.Errorf("tuner: resume diverged at epoch %d: strategy finished, checkpoint recorded %v", len(r.records), rec.X)
+		}
+		if !ivec.Equal(x, rec.X) {
+			return fmt.Errorf(
+				"tuner: resume diverged at epoch %d: proposed %v, checkpoint recorded %v (was the configuration changed?)",
+				len(r.records), x, rec.X)
+		}
+		if rec.Transient {
+			r.transients++
+		} else {
+			r.transients = 0
+		}
+		r.record(rec.X, rec.Report, rec.Transient)
+		r.s.Observe(rec.Report)
+	}
+	return nil
+}
+
+// loop is the epoch loop: check for interrupts and exhaustion, ask the
+// strategy for a vector, run the epoch, tell the strategy what
+// happened.
+func (r *session) loop(ctx context.Context) (*Trace, error) {
+	for {
+		if err := r.interrupted(ctx); err != nil {
+			if ckErr := r.checkpoint(); ckErr != nil {
+				return r.tr, ckErr
+			}
+			return r.tr, err
+		}
+		if r.spent() {
+			return r.tr, nil
+		}
+		x, done := r.s.Propose()
+		if done {
+			return r.tr, nil
+		}
+		stop, err := r.step(ctx, x)
+		if err != nil || stop {
+			return r.tr, err
+		}
+	}
+}
+
+// step executes one control epoch with vector x, records it, and
+// feeds the report to the strategy. The bool result reports whether
+// tuning should stop.
+//
+// A transient failure (xfer.ErrTransient) does not abort the trace:
+// up to MaxTransientFailures-1 consecutive failures are each recorded
+// and observed as a zero-throughput epoch and tuning continues — the
+// zero reading trips the ε-monitor, so the search re-engages once the
+// transfer recovers. The MaxTransientFailures-th consecutive failure,
+// and any fatal error, stops tuning with the error. A ctx cancelled
+// mid-epoch records the partial epoch (when it carries any transfer
+// time), checkpoints, and stops with the context's error.
+func (r *session) step(ctx context.Context, x []int) (bool, error) {
+	p := r.cfg.Map(x)
+	start := r.t.Now()
+	rep, err := r.t.Run(ctx, p, r.cfg.Epoch)
+	switch {
+	case err == nil:
+		r.transients = 0
+		r.record(x, rep, false)
+		r.s.Observe(rep)
+		if ckErr := r.checkpoint(); ckErr != nil {
+			return true, ckErr
+		}
+		return rep.Done, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.preserve = true
+		if rep.End > rep.Start {
+			r.record(x, rep, false)
+			r.s.Observe(rep)
+		}
+		if ckErr := r.checkpoint(); ckErr != nil {
+			return true, ckErr
+		}
+		return true, err
+	case xfer.IsTransient(err):
+		r.transients++
+		if r.transients < r.cfg.MaxTransientFailures {
+			rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
+			r.record(x, rep, true)
+			r.s.Observe(rep)
+			if ckErr := r.checkpoint(); ckErr != nil {
+				return true, ckErr
+			}
+			return false, nil
+		}
+		return true, err
+	default:
+		return true, err
+	}
+}
+
+// interrupted reports the pending interrupt, if any: a cancelled ctx
+// (hard abort) or a closed Drain channel (stop at the epoch
+// boundary). Either way the transfer is preserved for resumption.
+func (r *session) interrupted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		r.preserve = true
+		return err
+	}
+	if r.cfg.Drain != nil {
+		select {
+		case <-r.cfg.Drain:
+			r.preserve = true
+			return ErrInterrupted
+		default:
+		}
+	}
+	return nil
+}
+
+// spent reports whether the transfer is finished or out of budget.
+func (r *session) spent() bool {
+	if r.t.Remaining() <= 0 {
+		return true
+	}
+	if r.cfg.Budget > 0 && r.t.Now() >= r.cfg.Budget-1e-9 {
+		return true
+	}
+	return false
+}
+
+// record appends an epoch to the trace and the checkpoint record.
+func (r *session) record(x []int, rep xfer.Report, transient bool) {
+	r.tr.add(x, rep)
+	r.records = append(r.records, EpochRecord{X: ivec.Clone(x), Report: rep, Transient: transient})
+}
+
+// close releases the transfer, unless the run was interrupted — an
+// interrupted transfer is left alive so a checkpointed run can resume
+// it (the caller may still Stop it explicitly).
+func (r *session) close() {
+	if r.preserve {
+		return
+	}
+	r.t.Stop()
+}
+
+// checkpoint snapshots the session's durable state — including the
+// strategy's serialized state machine — to the configured writer; with
+// no writer configured it is a no-op.
+func (r *session) checkpoint() error {
+	if r.cfg.Checkpoint == nil {
+		return nil
+	}
+	raw, err := r.s.Snapshot()
+	if err != nil {
+		return fmt.Errorf("tuner: checkpoint: strategy snapshot: %w", err)
+	}
+	ck := &Checkpoint{
+		Version:    CheckpointVersion,
+		Tuner:      r.tr.Tuner,
+		Seed:       r.cfg.Seed,
+		Epochs:     len(r.records),
+		Transients: r.transients,
+		Transfer:   xfer.CaptureState(r.t),
+		Strategy:   raw,
+		Trace:      append([]EpochRecord(nil), r.records...),
+	}
+	if err := r.cfg.Checkpoint.Save(ck); err != nil {
+		return fmt.Errorf("tuner: checkpoint: %w", err)
+	}
+	return nil
+}

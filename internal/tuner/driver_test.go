@@ -1,0 +1,181 @@
+package tuner
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dstune/internal/xfer"
+)
+
+// strategyNames lists every built-in strategy.
+func strategyNames() []string {
+	return []string{"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model"}
+}
+
+// countingStrategy wraps a Strategy and counts the protocol calls, so
+// a test can prove how a resumed Driver rebuilt the state: one Restore
+// and zero replayed Proposes for the direct path.
+type countingStrategy struct {
+	Strategy
+	proposes, observes, restores int
+}
+
+func (c *countingStrategy) Propose() ([]int, bool) {
+	c.proposes++
+	return c.Strategy.Propose()
+}
+
+func (c *countingStrategy) Observe(rep xfer.Report) {
+	c.observes++
+	c.Strategy.Observe(rep)
+}
+
+func (c *countingStrategy) Restore(raw json.RawMessage) error {
+	c.restores++
+	return c.Strategy.Restore(raw)
+}
+
+// TestDirectResumeSkipsReplay is the O(1)-resume property: for every
+// strategy, a run interrupted after k epochs resumes by deserializing
+// the checkpointed strategy state directly — exactly one Restore, no
+// replayed proposals — and still produces the uninterrupted trace.
+func TestDirectResumeSkipsReplay(t *testing.T) {
+	const seed = 11
+	const interruptAfter = 3
+	for _, name := range strategyNames() {
+		t.Run(name, func(t *testing.T) {
+			// Reference: an uninterrupted Driver run.
+			ref, err := mustStrategyRun(t, name, simCfg(), seed, nil, nil)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if len(ref.Results) <= interruptAfter {
+				t.Fatalf("reference run too short: %d epochs", len(ref.Results))
+			}
+
+			// Interrupted: drain after k epochs, keeping the last
+			// checkpoint.
+			live := simTransfer(t, seed)
+			var last *Checkpoint
+			drain := make(chan struct{})
+			drained := false
+			cfg := simCfg()
+			cfg.Drain = drain
+			cfg.Checkpoint = CheckpointFunc(func(ck *Checkpoint) error {
+				last = ck
+				if ck.Epochs >= interruptAfter && !drained {
+					drained = true
+					close(drain)
+				}
+				return nil
+			})
+			s, err := NewStrategy(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := NewDriver(cfg).Run(context.Background(), s, live); err != ErrInterrupted {
+				t.Fatalf("drained run returned %v, want ErrInterrupted", err)
+			}
+			if last == nil || last.Epochs != interruptAfter {
+				t.Fatalf("last checkpoint holds %v epochs, want %d", last, interruptAfter)
+			}
+			if len(last.Strategy) == 0 {
+				t.Fatal("checkpoint carries no strategy state")
+			}
+
+			// Resume on the same live transfer with a counting wrapper:
+			// the trace must match the reference, via exactly one Restore
+			// and only the live epochs' Proposes — no replay.
+			rcfg := simCfg()
+			rcfg.Resume = last
+			rs, err := NewStrategy(name, rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := &countingStrategy{Strategy: rs}
+			resumed, err := NewDriver(rcfg).Run(context.Background(), cs, live)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !reflect.DeepEqual(resumed.Results, ref.Results) {
+				t.Fatalf("resumed trace diverged from reference:\n got %+v\nwant %+v",
+					resumed.Results, ref.Results)
+			}
+			liveEpochs := len(ref.Results) - interruptAfter
+			if cs.restores != 1 {
+				t.Fatalf("resume called Restore %d times, want 1", cs.restores)
+			}
+			if cs.proposes != liveEpochs {
+				t.Fatalf("resume called Propose %d times, want %d (replay would add %d)",
+					cs.proposes, liveEpochs, interruptAfter)
+			}
+			if cs.observes != liveEpochs {
+				t.Fatalf("resume called Observe %d times, want %d", cs.observes, liveEpochs)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRoundTrip: after any number of observed epochs,
+// Snapshot into a fresh identically-configured strategy must continue
+// with exactly the proposals the original produces.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	const seed = 11
+	for _, name := range strategyNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := simCfg()
+			cfg.Budget = 100 // 20 epochs: deep enough to cross phases
+			orig, err := NewStrategy(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := simTransfer(t, seed)
+			defer tr.Stop()
+			ctx := context.Background()
+			for epoch := 0; epoch < 20; epoch++ {
+				x, done := orig.Propose()
+				if done {
+					break
+				}
+				rep, err := tr.Run(ctx, cfg.Map(x), cfg.Epoch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				orig.Observe(rep)
+
+				raw, err := orig.Snapshot()
+				if err != nil {
+					t.Fatalf("epoch %d: snapshot: %v", epoch, err)
+				}
+				clone, err := NewStrategy(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := clone.Restore(raw); err != nil {
+					t.Fatalf("epoch %d: restore: %v", epoch, err)
+				}
+				ox, od := orig.Propose()
+				cx, cd := clone.Propose()
+				if od != cd || !reflect.DeepEqual(ox, cx) {
+					t.Fatalf("epoch %d: restored clone proposes (%v,%v), original (%v,%v)",
+						epoch, cx, cd, ox, od)
+				}
+			}
+		})
+	}
+}
+
+// mustStrategyRun drives the named strategy under a Driver on a fresh
+// simulated transfer.
+func mustStrategyRun(t *testing.T, name string, cfg Config, seed uint64, drain chan struct{}, ckpt CheckpointWriter) (*Trace, error) {
+	t.Helper()
+	cfg.Drain = drain
+	cfg.Checkpoint = ckpt
+	s, err := NewStrategy(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDriver(cfg).Run(context.Background(), s, simTransfer(t, seed))
+}

@@ -1,0 +1,340 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dstune/internal/xfer"
+)
+
+// FleetConfig parameterizes a Fleet run: the shared epoch length, the
+// per-session tuning budget, and the per-session transient-failure
+// tolerance.
+type FleetConfig struct {
+	// Epoch is the control-epoch length in seconds (default 30).
+	Epoch float64
+	// Budget limits each session's tuning time in transfer-clock
+	// seconds; 0 means until its transfers complete.
+	Budget float64
+	// MaxTransientFailures ends a session at the n-th consecutive
+	// transient epoch failure (default 3). 1 means the first failure
+	// of any kind ends the session.
+	MaxTransientFailures int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Epoch == 0 {
+		c.Epoch = 30
+	}
+	if c.MaxTransientFailures == 0 {
+		c.MaxTransientFailures = 3
+	}
+	return c
+}
+
+// FleetSession is one (strategy, transfers) pairing a Fleet drives: a
+// Strategy proposing over the concatenation of the transfers' vectors,
+// sliced per transfer by Dims and mapped to parameters by Maps. A
+// single-transfer session may leave Dims nil to hand the whole vector
+// to that transfer.
+type FleetSession struct {
+	// Name labels the session in results; empty defaults to the
+	// strategy name.
+	Name string
+	// Strategy decides the session's parameter vectors.
+	Strategy Strategy
+	// Transfers are the session's concurrent transfers.
+	Transfers []xfer.Transferer
+	// Dims is the vector width per transfer; nil with one transfer
+	// means the whole vector.
+	Dims []int
+	// Maps converts each transfer's slice to its parameters.
+	Maps []ParamMap
+	// Weights scale each transfer's contribution to the aggregate
+	// objective the strategy observes; nil = all ones.
+	Weights []float64
+}
+
+// validate reports whether the session is usable.
+func (s FleetSession) validate() error {
+	if s.Strategy == nil {
+		return errors.New("session has no strategy")
+	}
+	if len(s.Transfers) == 0 {
+		return errors.New("session has no transfers")
+	}
+	if s.Dims == nil && len(s.Transfers) != 1 {
+		return fmt.Errorf("session has %d transfers but no dims", len(s.Transfers))
+	}
+	if s.Dims != nil && len(s.Dims) != len(s.Transfers) {
+		return fmt.Errorf("session has %d dims for %d transfers", len(s.Dims), len(s.Transfers))
+	}
+	if len(s.Maps) != len(s.Transfers) {
+		return fmt.Errorf("session has %d maps for %d transfers", len(s.Maps), len(s.Transfers))
+	}
+	for i, m := range s.Maps {
+		if m == nil {
+			return fmt.Errorf("session transfer %d has nil map", i)
+		}
+	}
+	for i, d := range s.Dims {
+		if d < 1 {
+			return fmt.Errorf("session transfer %d has dim %d", i, d)
+		}
+	}
+	if s.Weights != nil && len(s.Weights) != len(s.Transfers) {
+		return fmt.Errorf("session has %d weights for %d transfers", len(s.Weights), len(s.Transfers))
+	}
+	return nil
+}
+
+// SessionResult is one session's outcome: the per-transfer traces (in
+// Transfers order), the total bytes its epochs moved, and the error
+// that ended it, if any.
+type SessionResult struct {
+	// Name is the session's label.
+	Name string
+	// Traces hold each transfer's recorded epochs; every epoch records
+	// that transfer's own slice of the session vector.
+	Traces []*Trace
+	// Bytes is the total bytes moved across the session's transfers
+	// and recorded epochs.
+	Bytes float64
+	// Err is the error that ended the session: nil for a normal end
+	// (transfer done, budget spent, or strategy finished), the
+	// transfer error otherwise.
+	Err error
+}
+
+// Fleet drives N (strategy, transfers) sessions concurrently from one
+// scheduler loop: each round it collects every active session's
+// proposal, runs all the resulting transfer epochs at once (the
+// simulation fabric keeps them in lockstep virtual time), and feeds
+// each session's aggregate report back to its strategy. Sessions end
+// independently — transfer completion, budget, strategy termination,
+// or failure — and a session's transfers are stopped when it ends.
+//
+// Fleet is the concurrent generalization of the single-session Driver
+// and the substrate of the Joint tuner; it shares its accounting (one
+// trace per transfer, per-session byte totals) but not the Driver's
+// checkpoint/resume support.
+type Fleet struct {
+	cfg      FleetConfig
+	sessions []FleetSession
+}
+
+// NewFleet returns a fleet over the given sessions.
+func NewFleet(cfg FleetConfig, sessions ...FleetSession) *Fleet {
+	return &Fleet{cfg: cfg, sessions: sessions}
+}
+
+// fleetSession is one session's runtime state.
+type fleetSession struct {
+	cfg     FleetConfig
+	spec    FleetSession
+	dims    []int
+	weights []float64
+	traces  []*Trace
+	bytes   float64
+	// transients counts consecutive transient epoch failures.
+	transients int
+	done       bool
+	err        error
+	// parts holds the current round's per-transfer slices.
+	parts [][]int
+}
+
+// fleetJob is one (session, transfer) epoch in flight.
+type fleetJob struct {
+	s   *fleetSession
+	i   int // transfer index within the session
+	p   xfer.Params
+	rep xfer.Report
+	err error
+	// start is the transfer clock when the epoch was dispatched, for
+	// synthesizing a zero-throughput report on transient failure.
+	start float64
+}
+
+// Run drives all sessions until each has ended and returns their
+// results in session order. The error is non-nil only for an unusable
+// configuration; per-session failures (including ctx cancellation,
+// which fails each session's in-flight epoch) are reported in the
+// results.
+func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
+	cfg := f.cfg.withDefaults()
+	if len(f.sessions) == 0 {
+		return nil, errors.New("tuner: fleet has no sessions")
+	}
+	states := make([]*fleetSession, len(f.sessions))
+	for i, spec := range f.sessions {
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("tuner: fleet session %d: %w", i, err)
+		}
+		if spec.Name == "" {
+			spec.Name = spec.Strategy.Name()
+		}
+		s := &fleetSession{cfg: cfg, spec: spec, dims: spec.Dims, weights: spec.Weights}
+		if s.weights == nil {
+			s.weights = make([]float64, len(spec.Transfers))
+			for j := range s.weights {
+				s.weights[j] = 1
+			}
+		}
+		s.traces = make([]*Trace, len(spec.Transfers))
+		for j := range s.traces {
+			s.traces[j] = &Trace{Tuner: spec.Name}
+		}
+		states[i] = s
+	}
+
+	for {
+		// Collect this round's epochs from every live session.
+		var jobs []*fleetJob
+		for _, s := range states {
+			if s.done {
+				continue
+			}
+			x, fin := s.spec.Strategy.Propose()
+			if fin {
+				s.finish(nil)
+				continue
+			}
+			parts, err := s.slice(x)
+			if err != nil {
+				s.finish(err)
+				continue
+			}
+			s.parts = parts
+			for i := range s.spec.Transfers {
+				jobs = append(jobs, &fleetJob{
+					s: s, i: i,
+					p:     s.spec.Maps[i](parts[i]),
+					start: s.spec.Transfers[i].Now(),
+				})
+			}
+		}
+		if len(jobs) == 0 {
+			break
+		}
+
+		// One barrier group per round: the simulation fabric advances
+		// virtual time only when every participant is in its epoch.
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j *fleetJob) {
+				defer wg.Done()
+				j.rep, j.err = j.s.spec.Transfers[j.i].Run(ctx, j.p, cfg.Epoch)
+			}(j)
+		}
+		wg.Wait()
+
+		// Settle sessions in order.
+		perSession := map[*fleetSession][]*fleetJob{}
+		for _, j := range jobs {
+			perSession[j.s] = append(perSession[j.s], j)
+		}
+		for _, s := range states {
+			if js := perSession[s]; js != nil {
+				s.settle(js)
+			}
+		}
+	}
+
+	results := make([]SessionResult, len(states))
+	for i, s := range states {
+		results[i] = SessionResult{Name: s.spec.Name, Traces: s.traces, Bytes: s.bytes, Err: s.err}
+	}
+	return results, nil
+}
+
+// slice cuts the session vector into per-transfer slices.
+func (s *fleetSession) slice(x []int) ([][]int, error) {
+	if s.dims == nil {
+		return [][]int{x}, nil
+	}
+	total := 0
+	for _, d := range s.dims {
+		total += d
+	}
+	if len(x) != total {
+		return nil, fmt.Errorf("tuner: session %q proposed %d dims, transfers need %d", s.spec.Name, len(x), total)
+	}
+	out := make([][]int, len(s.dims))
+	off := 0
+	for i, d := range s.dims {
+		out[i] = x[off : off+d]
+		off += d
+	}
+	return out, nil
+}
+
+// settle folds one round's per-transfer reports into the session:
+// record the traces, observe the weighted aggregate, and decide
+// whether the session ends (completion, budget, or failure).
+func (s *fleetSession) settle(jobs []*fleetJob) {
+	failed := false
+	for _, j := range jobs {
+		if j.err == nil {
+			continue
+		}
+		if errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded) || !xfer.IsTransient(j.err) {
+			s.finish(j.err)
+			return
+		}
+		failed = true
+	}
+	if failed {
+		s.transients++
+		if s.transients >= s.cfg.MaxTransientFailures {
+			for _, j := range jobs {
+				if j.err != nil {
+					s.finish(j.err)
+					return
+				}
+			}
+		}
+		// Tolerated: the failed epochs read as zero throughput, which
+		// trips the strategy's ε-monitor once the transfer recovers.
+		for _, j := range jobs {
+			if j.err != nil {
+				j.rep = xfer.Report{Params: j.p, Start: j.start, End: s.spec.Transfers[j.i].Now()}
+			}
+		}
+	} else {
+		s.transients = 0
+	}
+
+	agg := xfer.Report{Start: jobs[0].rep.Start, End: jobs[0].rep.End}
+	for _, j := range jobs {
+		s.traces[j.i].add(s.parts[j.i], j.rep)
+		s.bytes += j.rep.Bytes
+		agg.Bytes += j.rep.Bytes
+		agg.Throughput += s.weights[j.i] * j.rep.Throughput
+		agg.BestCase += s.weights[j.i] * j.rep.BestCase
+		if j.rep.Done {
+			agg.Done = true
+		}
+	}
+	s.spec.Strategy.Observe(agg)
+	if agg.Done {
+		s.finish(nil)
+		return
+	}
+	if s.cfg.Budget > 0 && s.spec.Transfers[0].Now() >= s.cfg.Budget-1e-9 {
+		s.finish(nil)
+	}
+}
+
+// finish ends the session and stops its transfers.
+func (s *fleetSession) finish(err error) {
+	s.done = true
+	s.err = err
+	for _, t := range s.spec.Transfers {
+		t.Stop()
+	}
+}

@@ -2,17 +2,128 @@ package tuner
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
+	"dstune/internal/ivec"
 	"dstune/internal/xfer"
 )
 
-// Heur1 is Balman & Kosar's dynamic adaptation heuristic [5], extended
-// to multiple parameters the same way cd-tuner is (the paper's §IV-C):
-// compare the two most recent epoch throughputs and additively
-// increase the active parameter by one while the comparison shows a
-// significant improvement. The heuristic has no decrease mechanism;
-// the paper notes it is a simplified cd-tuner and needs many more
-// control epochs to reach comparable throughput.
+// Phases of the heuristic state machines.
+const (
+	heurPhaseStart = "start" // evaluating x0
+	heurPhaseLoop  = "loop"  // heur1's climb/hold loop
+	heurPhaseClimb = "climb" // heur2's exponential climb
+	heurPhaseHold  = "hold"  // heur2 settled
+)
+
+// Heur1State is the serializable state of heur1.
+type Heur1State struct {
+	Phase string `json:"phase"`
+	// X is the adopted vector; a rejected probe is not adopted.
+	X []int `json:"x"`
+	// FPrev is the previous epoch's fitness.
+	FPrev float64 `json:"f_prev,omitempty"`
+	// Climbing reports whether the next epoch probes upward.
+	Climbing bool `json:"climbing"`
+	// Rotation tracks the active coordinate and its stall count.
+	Rotation Rotation `json:"rotation"`
+	// Next is the vector Propose returns.
+	Next []int `json:"next"`
+}
+
+// Heur1Strategy is Balman & Kosar's dynamic adaptation heuristic [5],
+// extended to multiple parameters the same way cd-tuner is (the
+// paper's §IV-C): compare the two most recent epoch throughputs and
+// additively increase the active parameter by one while the
+// comparison shows a significant improvement. The heuristic has no
+// decrease mechanism; the paper notes it is a simplified cd-tuner and
+// needs many more control epochs to reach comparable throughput.
+type Heur1Strategy struct {
+	cfg Config
+	st  Heur1State
+}
+
+// NewHeur1Strategy returns a heur1 strategy.
+func NewHeur1Strategy(cfg Config) *Heur1Strategy {
+	cfg = cfg.withDefaults()
+	return &Heur1Strategy{cfg: cfg, st: Heur1State{
+		Phase:    heurPhaseStart,
+		Climbing: true,
+		Next:     cfg.Box.ClampInt(cfg.Start),
+	}}
+}
+
+// Name implements Strategy.
+func (h *Heur1Strategy) Name() string { return "heur1" }
+
+// Propose implements Strategy.
+func (h *Heur1Strategy) Propose() ([]int, bool) { return ivec.Clone(h.st.Next), false }
+
+// Observe implements Strategy.
+func (h *Heur1Strategy) Observe(rep xfer.Report) {
+	f := fitnessOf(h.cfg, rep)
+	st := &h.st
+	switch st.Phase {
+	case heurPhaseStart:
+		st.X, st.FPrev = st.Next, f
+		st.Phase = heurPhaseLoop
+	case heurPhaseLoop:
+		ran := st.Next // the vector this report came from
+		dc := delta(st.FPrev, f)
+		st.FPrev = f
+		if dc > h.cfg.Tolerance {
+			// Improvement between consecutive epochs: adopt the bump
+			// (if any) and keep climbing.
+			st.X = ran
+			st.Climbing = true
+			st.Rotation.Progress()
+			break
+		}
+		// No significant improvement: stop climbing and hold. A later
+		// significant improvement (e.g. external load released)
+		// re-arms the climb; a drop never does — heur1 cannot
+		// decrease.
+		if st.Climbing && !ivec.Equal(ran, st.X) {
+			// The rejected probe still ran for an epoch; stay at X.
+			st.Climbing = false
+		}
+		if st.Rotation.Hold(h.cfg.Box.Dim(), h.cfg.StallEpochs) {
+			st.Climbing = true // probe the fresh coordinate
+		}
+	}
+	if st.Climbing {
+		st.Next = bump(h.cfg, st.X, st.Rotation.Dim, +1)
+	} else {
+		st.Next = ivec.Clone(st.X)
+	}
+}
+
+// Snapshot implements Strategy.
+func (h *Heur1Strategy) Snapshot() (json.RawMessage, error) { return json.Marshal(h.st) }
+
+// Restore implements Strategy.
+func (h *Heur1Strategy) Restore(raw json.RawMessage) error {
+	var st Heur1State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("tuner: heur1 state: %w", err)
+	}
+	dim := h.cfg.Box.Dim()
+	if st.Phase != heurPhaseStart && st.Phase != heurPhaseLoop {
+		return fmt.Errorf("tuner: heur1 state has unknown phase %q", st.Phase)
+	}
+	if len(st.Next) != dim || (st.Phase == heurPhaseLoop && len(st.X) != dim) {
+		return fmt.Errorf("tuner: heur1 state vectors do not match box dim %d", dim)
+	}
+	if st.Rotation.Dim < 0 || st.Rotation.Dim >= dim || st.Rotation.Stalls < 0 {
+		return fmt.Errorf("tuner: heur1 state rotation %+v out of range", st.Rotation)
+	}
+	h.st = st
+	return nil
+}
+
+// Heur1 is heur1 as a blocking Tuner: a Heur1Strategy under the
+// shared Driver.
 type Heur1 struct {
 	cfg Config
 }
@@ -25,67 +136,114 @@ func (h *Heur1) Name() string { return "heur1" }
 
 // Tune implements Tuner.
 func (h *Heur1) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(h.Name(), h.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	cfg := r.cfg
-	dim := 0
-	climbing := true
-	stalls := 0
-	r.searchState = func() any {
-		return map[string]any{"kind": "heur1", "dim": dim, "climbing": climbing, "stalls": stalls}
-	}
+	return tuneWith(ctx, h.cfg, t, func(cfg Config) Strategy { return NewHeur1Strategy(cfg) })
+}
 
-	x := cfg.Box.ClampInt(cfg.Start)
-	fPrev, stop, err := r.run(ctx, x)
-	if err != nil || stop {
-		return r.tr, err
+// Heur2State is the serializable state of heur2.
+type Heur2State struct {
+	Phase string `json:"phase"`
+	// X is the settled vector so far.
+	X []int `json:"x"`
+	// Best is the best fitness seen during the climb.
+	Best float64 `json:"best,omitempty"`
+	// Dim is the coordinate currently being doubled.
+	Dim int `json:"dim"`
+	// Next is the vector Propose returns.
+	Next []int `json:"next"`
+}
+
+// Heur2Strategy is Yildirim et al.'s expert heuristic [25]:
+// exponentially increase the active parameter (doubling each epoch)
+// until the throughput stops improving significantly, settle on the
+// best value seen, move to the next parameter, and terminate — it has
+// no decrement mechanism and never re-tunes, which is why the paper
+// finds it fast but sensitive to its starting values.
+type Heur2Strategy struct {
+	cfg Config
+	st  Heur2State
+}
+
+// NewHeur2Strategy returns a heur2 strategy.
+func NewHeur2Strategy(cfg Config) *Heur2Strategy {
+	cfg = cfg.withDefaults()
+	return &Heur2Strategy{cfg: cfg, st: Heur2State{
+		Phase: heurPhaseStart,
+		Next:  cfg.Box.ClampInt(cfg.Start),
+	}}
+}
+
+// Name implements Strategy.
+func (h *Heur2Strategy) Name() string { return "heur2" }
+
+// Propose implements Strategy.
+func (h *Heur2Strategy) Propose() ([]int, bool) { return ivec.Clone(h.st.Next), false }
+
+// advance finds the next doubling probe, skipping coordinates pinned
+// at their bound, or settles into the hold phase after the last one.
+func (h *Heur2Strategy) advance() {
+	st := &h.st
+	for st.Dim < h.cfg.Box.Dim() {
+		next := double(h.cfg, st.X, st.Dim)
+		if !ivec.Equal(next, st.X) {
+			st.Next = next
+			st.Phase = heurPhaseClimb
+			return
+		}
+		st.Dim++
 	}
-	// The first comparison needs a probe.
-	for {
-		next := x
-		if climbing {
-			next = bump(cfg, x, dim, +1)
+	st.Phase = heurPhaseHold
+	st.Next = ivec.Clone(st.X)
+}
+
+// Observe implements Strategy.
+func (h *Heur2Strategy) Observe(rep xfer.Report) {
+	f := fitnessOf(h.cfg, rep)
+	st := &h.st
+	switch st.Phase {
+	case heurPhaseStart:
+		st.X, st.Best = st.Next, f
+		h.advance()
+	case heurPhaseClimb:
+		if delta(st.Best, f) > h.cfg.Tolerance {
+			st.X, st.Best = st.Next, f
+		} else {
+			// Worse or flat: settle on the previous value and move to
+			// the next coordinate.
+			st.Dim++
 		}
-		f, stop, err := r.run(ctx, next)
-		if err != nil || stop {
-			return r.tr, err
-		}
-		dc := delta(r.fitness(fPrev), r.fitness(f))
-		fPrev = f
-		if dc > cfg.Tolerance {
-			// Improvement between consecutive epochs: adopt the bump
-			// (if any) and keep climbing.
-			x = next
-			climbing = true
-			stalls = 0
-			continue
-		}
-		// No significant improvement: stop climbing and hold. A later
-		// significant improvement (e.g. external load released)
-		// re-arms the climb; a drop never does — heur1 cannot
-		// decrease.
-		if climbing && !equalInts(next, x) {
-			// The rejected probe still ran for an epoch; stay at x.
-			climbing = false
-		}
-		stalls++
-		if len(cfg.Start) > 1 && stalls >= cfg.StallEpochs {
-			stalls = 0
-			dim = (dim + 1) % cfg.Box.Dim()
-			climbing = true // probe the fresh coordinate
-		}
+		h.advance()
+	case heurPhaseHold:
+		// Terminated: hold the settled parameters for the remainder.
 	}
 }
 
-// Heur2 is Yildirim et al.'s expert heuristic [25]: exponentially
-// increase the active parameter (doubling each epoch) until the
-// throughput stops improving significantly, settle on the best value
-// seen, move to the next parameter, and terminate — it has no
-// decrement mechanism and never re-tunes, which is why the paper finds
-// it fast but sensitive to its starting values.
+// Snapshot implements Strategy.
+func (h *Heur2Strategy) Snapshot() (json.RawMessage, error) { return json.Marshal(h.st) }
+
+// Restore implements Strategy.
+func (h *Heur2Strategy) Restore(raw json.RawMessage) error {
+	var st Heur2State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("tuner: heur2 state: %w", err)
+	}
+	dim := h.cfg.Box.Dim()
+	switch st.Phase {
+	case heurPhaseStart, heurPhaseClimb, heurPhaseHold:
+	default:
+		return fmt.Errorf("tuner: heur2 state has unknown phase %q", st.Phase)
+	}
+	if len(st.Next) != dim || (st.Phase != heurPhaseStart && len(st.X) != dim) {
+		return fmt.Errorf("tuner: heur2 state vectors do not match box dim %d", dim)
+	}
+	if st.Dim < 0 || st.Dim > dim {
+		return fmt.Errorf("tuner: heur2 state dim %d out of range", st.Dim)
+	}
+	h.st = st
+	return nil
+}
+
+// Heur2 is heur2 as a blocking Tuner: a Heur2Strategy under the
+// shared Driver.
 type Heur2 struct {
 	cfg Config
 }
@@ -98,59 +256,12 @@ func (h *Heur2) Name() string { return "heur2" }
 
 // Tune implements Tuner.
 func (h *Heur2) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(h.Name(), h.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	cfg := r.cfg
-	dim := 0
-	settled := false
-	r.searchState = func() any {
-		return map[string]any{"kind": "heur2", "dim": dim, "settled": settled}
-	}
-
-	x := cfg.Box.ClampInt(cfg.Start)
-	fBest, stop, err := r.run(ctx, x)
-	if err != nil || stop {
-		return r.tr, err
-	}
-	best := r.fitness(fBest)
-
-	// Exponential climb, one coordinate at a time.
-	for ; dim < cfg.Box.Dim(); dim++ {
-		for {
-			next := double(cfg, x, dim)
-			if equalInts(next, x) {
-				break // pinned at the bound
-			}
-			f, stop, err := r.run(ctx, next)
-			if err != nil || stop {
-				return r.tr, err
-			}
-			if delta(best, r.fitness(f)) > cfg.Tolerance {
-				x = next
-				best = r.fitness(f)
-				continue
-			}
-			// Worse or flat: settle on the previous value.
-			break
-		}
-	}
-	settled = true
-
-	// Terminated: hold the settled parameters for the remainder.
-	for {
-		if _, stop, err := r.run(ctx, x); err != nil || stop {
-			return r.tr, err
-		}
-	}
+	return tuneWith(ctx, h.cfg, t, func(cfg Config) Strategy { return NewHeur2Strategy(cfg) })
 }
 
 // bump moves coordinate dim of x by d within bounds.
 func bump(cfg Config, x []int, dim, d int) []int {
-	out := make([]int, len(x))
-	copy(out, x)
+	out := ivec.Clone(x)
 	out[dim] += d
 	return cfg.Box.ClampInt(out)
 }
@@ -158,8 +269,7 @@ func bump(cfg Config, x []int, dim, d int) []int {
 // double doubles coordinate dim of x within bounds, moving at least
 // one step.
 func double(cfg Config, x []int, dim int) []int {
-	out := make([]int, len(x))
-	copy(out, x)
+	out := ivec.Clone(x)
 	v := out[dim] * 2
 	if v <= out[dim] {
 		v = out[dim] + 1

@@ -4,10 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"dstune/internal/directsearch"
-	"dstune/internal/sim"
 	"dstune/internal/xfer"
 )
 
@@ -94,52 +92,27 @@ func (c JointConfig) Validate() error {
 // fabric keeps them in lockstep virtual time), so one evaluation of
 // the joint vector costs one epoch of wall/virtual time regardless of
 // the number of transfers.
+//
+// Joint is a single-session Fleet: one SearchStrategy over the
+// concatenated vector, observing the weighted aggregate report.
 type Joint struct {
 	cfg  JointConfig
 	name string
-	// newSearch builds the inner search (compass or Nelder–Mead).
-	newSearch func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher
+	kind string
 }
 
 // NewJointCS returns a joint tuner driven by compass search.
 func NewJointCS(cfg JointConfig) *Joint {
-	return &Joint{
-		cfg:  cfg,
-		name: "joint-cs",
-		newSearch: func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher {
-			return directsearch.NewCompass(start, cfg.Box, directsearch.CompassConfig{Lambda: cfg.Lambda}, rng)
-		},
-	}
+	return &Joint{cfg: cfg, name: "joint-cs", kind: searchKindCompass}
 }
 
 // NewJointNM returns a joint tuner driven by Nelder–Mead.
 func NewJointNM(cfg JointConfig) *Joint {
-	return &Joint{
-		cfg:  cfg,
-		name: "joint-nm",
-		newSearch: func(start []int, cfg JointConfig, rng *sim.RNG) directsearch.Searcher {
-			nmCfg := cfg.NM
-			if nmCfg.InitStep == 0 {
-				nmCfg.InitStep = cfg.Lambda
-			}
-			return directsearch.NewNelderMead(start, cfg.Box, nmCfg)
-		},
-	}
+	return &Joint{cfg: cfg, name: "joint-nm", kind: searchKindNM}
 }
 
 // Name returns the tuner's name.
 func (j *Joint) Name() string { return j.name }
-
-// slices cuts the joint vector into per-transfer slices.
-func (j *Joint) slices(x []int) [][]int {
-	out := make([][]int, len(j.cfg.Dims))
-	off := 0
-	for i, d := range j.cfg.Dims {
-		out[i] = x[off : off+d]
-		off += d
-	}
-	return out
-}
 
 // Tune drives the transfers until any of them completes or the budget
 // is reached, then stops them all and returns one trace per transfer
@@ -157,100 +130,35 @@ func (j *Joint) Tune(ctx context.Context, ts []xfer.Transferer) ([]*Trace, error
 		return nil, fmt.Errorf("tuner: %d transfers for %d configured slots", len(ts), len(j.cfg.Dims))
 	}
 	cfg := j.cfg.withDefaults()
-	defer func() {
-		for _, t := range ts {
-			t.Stop()
-		}
-	}()
-
-	traces := make([]*Trace, len(ts))
-	for i := range traces {
-		traces[i] = &Trace{Tuner: j.name}
+	// The strategy config keeps the raw sentinels (NoTolerance,
+	// NoLambda) so its own defaulting resolves them exactly once.
+	strat := newSearchStrategy(j.name, j.kind, Config{
+		Epoch:           j.cfg.Epoch,
+		Tolerance:       j.cfg.Tolerance,
+		Lambda:          j.cfg.Lambda,
+		NM:              j.cfg.NM,
+		Box:             j.cfg.Box,
+		Start:           j.cfg.Start,
+		Seed:            j.cfg.Seed,
+		Restart:         j.cfg.Restart,
+		ObserveBestCase: j.cfg.ObserveBestCase,
+	})
+	fleet := NewFleet(
+		// MaxTransientFailures 1: the first failed epoch of any kind
+		// ends joint tuning, as there is no checkpoint to resume from.
+		FleetConfig{Epoch: cfg.Epoch, Budget: cfg.Budget, MaxTransientFailures: 1},
+		FleetSession{
+			Name:      j.name,
+			Strategy:  strat,
+			Transfers: ts,
+			Dims:      cfg.Dims,
+			Maps:      cfg.Maps,
+			Weights:   cfg.Weights,
+		},
+	)
+	results, err := fleet.Run(ctx)
+	if err != nil {
+		return nil, err
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	x0 := cfg.Box.ClampInt(cfg.Start)
-
-	fitness := func(rep xfer.Report) float64 {
-		if cfg.ObserveBestCase {
-			return rep.BestCase
-		}
-		return rep.Throughput
-	}
-
-	// evaluate runs one concurrent epoch at joint vector x and
-	// returns the weighted aggregate objective.
-	evaluate := func(x []int) (float64, bool, error) {
-		parts := j.slices(x)
-		reps := make([]xfer.Report, len(ts))
-		errs := make([]error, len(ts))
-		var wg sync.WaitGroup
-		for i, t := range ts {
-			wg.Add(1)
-			go func(i int, t xfer.Transferer) {
-				defer wg.Done()
-				reps[i], errs[i] = t.Run(ctx, cfg.Maps[i](parts[i]), cfg.Epoch)
-			}(i, t)
-		}
-		wg.Wait()
-		stop := false
-		agg := 0.0
-		for i := range ts {
-			if errs[i] != nil {
-				return 0, true, errs[i]
-			}
-			traces[i].add(parts[i], reps[i])
-			agg += cfg.Weights[i] * fitness(reps[i])
-			if reps[i].Done {
-				stop = true
-			}
-		}
-		if cfg.Budget > 0 && ts[0].Now() >= cfg.Budget-1e-9 {
-			stop = true
-		}
-		return agg, stop, nil
-	}
-
-	// search drives one inner joint search to convergence.
-	search := func(start []int) (x []int, f float64, stop bool, err error) {
-		srch := j.newSearch(start, cfg, rng)
-		for {
-			cand, done := srch.Suggest()
-			if done {
-				x, f = srch.Best()
-				return x, f, false, nil
-			}
-			agg, stop, err := evaluate(cand)
-			if err != nil || stop {
-				bx, bf := srch.Best()
-				if bx == nil {
-					bx = start
-				}
-				return bx, bf, true, err
-			}
-			srch.Observe(agg)
-		}
-	}
-
-	x, fLast, stop, err := search(x0)
-	if err != nil || stop {
-		return traces, err
-	}
-	for {
-		agg, stop, err := evaluate(x)
-		if err != nil || stop {
-			return traces, err
-		}
-		dc := delta(fLast, agg)
-		fLast = agg
-		if dc > cfg.Tolerance || dc < -cfg.Tolerance {
-			start := x0
-			if cfg.Restart == FromCurrent {
-				start = x
-			}
-			x, fLast, stop, err = search(start)
-			if err != nil || stop {
-				return traces, err
-			}
-		}
-	}
+	return results[0].Traces, results[0].Err
 }

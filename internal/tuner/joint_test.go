@@ -220,13 +220,13 @@ func TestMapNCNPPP(t *testing.T) {
 }
 
 func TestObserveBestCase(t *testing.T) {
-	r := &runner{cfg: Config{ObserveBestCase: true}}
+	cfg := Config{ObserveBestCase: true}
 	rep := xfer.Report{Throughput: 10, BestCase: 20}
-	if r.fitness(rep) != 20 {
+	if fitnessOf(cfg, rep) != 20 {
 		t.Fatal("ObserveBestCase not honoured")
 	}
-	r.cfg.ObserveBestCase = false
-	if r.fitness(rep) != 10 {
+	cfg.ObserveBestCase = false
+	if fitnessOf(cfg, rep) != 10 {
 		t.Fatal("default observation wrong")
 	}
 }

@@ -2,31 +2,72 @@ package tuner
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
+	"dstune/internal/ivec"
 	"dstune/internal/model"
 	"dstune/internal/xfer"
 )
 
-// Model is the empirical-approach baseline from the paper's related
-// work (Yildirim et al. [27], Yin et al. [28]): sample the throughput
-// at a few exponentially spaced stream counts, fit the parallel-stream
-// curve Th(n) = n/sqrt(a*n^2+b*n+c), jump to the fitted optimum, and
-// hold. The ε-monitor re-samples when consecutive epoch throughputs
-// diverge, giving the empirical approach its best shot at the
-// adaptivity the paper says it lacks ("collected data may become
-// obsolete when the external conditions change").
+// Phases of the model strategy.
+const (
+	modelPhaseSample = "sample" // probing the sample points
+	modelPhaseHold   = "hold"   // holding the fitted optimum
+)
+
+// ModelState is the serializable state of the model strategy: the
+// sampling progress, the accumulated (stream count, throughput)
+// samples, the chosen stream count, and the ε-monitor.
+type ModelState struct {
+	Phase string `json:"phase"`
+	// Idx is the next sample point to probe (sample phase).
+	Idx int `json:"idx"`
+	// Ns and Th are the samples collected so far this sweep.
+	Ns []int     `json:"ns,omitempty"`
+	Th []float64 `json:"th,omitempty"`
+	// BestN and BestF track the best probe of the sweep, the fallback
+	// when the curve fit is degenerate.
+	BestN int     `json:"best_n"`
+	BestF float64 `json:"best_f"`
+	// N is the chosen stream count (hold phase).
+	N int `json:"n"`
+	// Monitor is the ε-monitor state (armed flag and baseline).
+	Monitor Monitor `json:"monitor"`
+	// Next is the vector Propose returns.
+	Next []int `json:"next"`
+}
+
+// ModelStrategy is the empirical-approach baseline from the paper's
+// related work (Yildirim et al. [27], Yin et al. [28]): sample the
+// throughput at a few exponentially spaced stream counts, fit the
+// parallel-stream curve Th(n) = n/sqrt(a*n^2+b*n+c), jump to the
+// fitted optimum, and hold. The ε-monitor re-samples when consecutive
+// epoch throughputs diverge, giving the empirical approach its best
+// shot at the adaptivity the paper says it lacks ("collected data may
+// become obsolete when the external conditions change").
 //
 // The model covers one parameter — the first coordinate of the tuned
 // vector (the stream count); remaining coordinates stay at Start.
-type Model struct {
-	cfg Config
+type ModelStrategy struct {
+	cfg    Config
+	rest   []int
+	points []int
+	st     ModelState
 }
 
-// NewModel returns a model-fitting tuner.
-func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
-
-// Name implements Tuner.
-func (m *Model) Name() string { return "model" }
+// NewModelStrategy returns a model-fitting strategy.
+func NewModelStrategy(cfg Config) *ModelStrategy {
+	cfg = cfg.withDefaults()
+	m := &ModelStrategy{
+		cfg:    cfg,
+		rest:   cfg.Box.ClampInt(cfg.Start),
+		points: samplePoints(cfg),
+	}
+	m.st.Monitor.Tolerance = cfg.Tolerance
+	m.beginSample()
+	return m
+}
 
 // samplePoints returns exponentially spaced probe values for the
 // first coordinate: lo, 4*lo, 16*lo, ... clamped to the box, at least
@@ -63,79 +104,111 @@ func samplePoints(cfg Config) []int {
 	return pts
 }
 
+// withN substitutes n into the first coordinate.
+func (m *ModelStrategy) withN(n int) []int {
+	x := ivec.Clone(m.rest)
+	x[0] = n
+	return m.cfg.Box.ClampInt(x)
+}
+
+// beginSample starts a sampling sweep over the probe points.
+func (m *ModelStrategy) beginSample() {
+	m.st.Phase = modelPhaseSample
+	m.st.Idx = 0
+	m.st.Ns, m.st.Th = nil, nil
+	m.st.BestN, m.st.BestF = m.points[0], -1.0
+	m.st.Monitor.Disarm()
+	m.st.Next = m.withN(m.points[0])
+}
+
+// Name implements Strategy.
+func (m *ModelStrategy) Name() string { return "model" }
+
+// Propose implements Strategy.
+func (m *ModelStrategy) Propose() ([]int, bool) { return ivec.Clone(m.st.Next), false }
+
+// Observe implements Strategy.
+func (m *ModelStrategy) Observe(rep xfer.Report) {
+	f := fitnessOf(m.cfg, rep)
+	st := &m.st
+	switch st.Phase {
+	case modelPhaseSample:
+		n := m.points[st.Idx]
+		st.Ns = append(st.Ns, n)
+		st.Th = append(st.Th, f)
+		if f > st.BestF {
+			st.BestN, st.BestF = n, f
+		}
+		st.Idx++
+		if st.Idx < len(m.points) {
+			st.Next = m.withN(m.points[st.Idx])
+			return
+		}
+		st.N = m.fit()
+		st.Phase = modelPhaseHold
+		st.Monitor.Disarm()
+		st.Next = m.withN(st.N)
+	case modelPhaseHold:
+		if st.Monitor.Observe(f) {
+			m.beginSample()
+		}
+	}
+}
+
+// fit returns the chosen stream count from the collected samples: the
+// fitted optimum, or the best sampled point when the fit is
+// degenerate.
+func (m *ModelStrategy) fit() int {
+	co, err := model.Fit(m.st.Ns, m.st.Th)
+	if err != nil {
+		// Degenerate fit: fall back to the best probe.
+		return m.st.BestN
+	}
+	return co.Optimum(m.cfg.Box.Lo(0), m.cfg.Box.Hi(0))
+}
+
+// Snapshot implements Strategy.
+func (m *ModelStrategy) Snapshot() (json.RawMessage, error) { return json.Marshal(m.st) }
+
+// Restore implements Strategy.
+func (m *ModelStrategy) Restore(raw json.RawMessage) error {
+	var st ModelState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("tuner: model state: %w", err)
+	}
+	switch st.Phase {
+	case modelPhaseSample:
+		if st.Idx < 0 || st.Idx >= len(m.points) {
+			return fmt.Errorf("tuner: model state sample index %d out of range (have %d points)", st.Idx, len(m.points))
+		}
+		if len(st.Ns) != st.Idx || len(st.Th) != st.Idx {
+			return fmt.Errorf("tuner: model state has %d/%d samples at index %d", len(st.Ns), len(st.Th), st.Idx)
+		}
+	case modelPhaseHold:
+	default:
+		return fmt.Errorf("tuner: model state has unknown phase %q", st.Phase)
+	}
+	if len(st.Next) != m.cfg.Box.Dim() {
+		return fmt.Errorf("tuner: model state next has %d dims, box has %d", len(st.Next), m.cfg.Box.Dim())
+	}
+	st.Monitor.Tolerance = m.cfg.Tolerance
+	m.st = st
+	return nil
+}
+
+// Model is the model tuner as a blocking Tuner: a ModelStrategy under
+// the shared Driver.
+type Model struct {
+	cfg Config
+}
+
+// NewModel returns a model-fitting tuner.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements Tuner.
+func (m *Model) Name() string { return "model" }
+
 // Tune implements Tuner.
 func (m *Model) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(m.Name(), m.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	cfg := r.cfg
-	rest := cfg.Box.ClampInt(cfg.Start)
-	points := samplePoints(cfg)
-	n := 0
-	r.searchState = func() any {
-		return map[string]any{"kind": "model", "n": n}
-	}
-
-	// withN substitutes n into the first coordinate.
-	withN := func(n int) []int {
-		x := make([]int, len(rest))
-		copy(x, rest)
-		x[0] = n
-		return cfg.Box.ClampInt(x)
-	}
-
-	// sampleAndFit probes the sample points and returns the chosen
-	// stream count: the fitted optimum, or the best sampled point
-	// when the fit is degenerate.
-	sampleAndFit := func() (int, bool, error) {
-		ns := make([]int, 0, len(points))
-		th := make([]float64, 0, len(points))
-		bestN, bestF := points[0], -1.0
-		for _, n := range points {
-			rep, stop, err := r.run(ctx, withN(n))
-			if err != nil || stop {
-				return bestN, true, err
-			}
-			f := r.fitness(rep)
-			ns = append(ns, n)
-			th = append(th, f)
-			if f > bestF {
-				bestN, bestF = n, f
-			}
-		}
-		co, err := model.Fit(ns, th)
-		if err != nil {
-			// Degenerate fit: fall back to the best probe.
-			return bestN, false, nil
-		}
-		return co.Optimum(cfg.Box.Lo(0), cfg.Box.Hi(0)), false, nil
-	}
-
-	var stop bool
-	n, stop, err = sampleAndFit()
-	if err != nil || stop {
-		return r.tr, err
-	}
-	fLast := -1.0
-	for {
-		rep, stop, err := r.run(ctx, withN(n))
-		if err != nil || stop {
-			return r.tr, err
-		}
-		f := r.fitness(rep)
-		if fLast >= 0 {
-			dc := delta(fLast, f)
-			if dc > cfg.Tolerance || dc < -cfg.Tolerance {
-				n, stop, err = sampleAndFit()
-				if err != nil || stop {
-					return r.tr, err
-				}
-				fLast = -1
-				continue
-			}
-		}
-		fLast = f
-	}
+	return tuneWith(ctx, m.cfg, t, func(cfg Config) Strategy { return NewModelStrategy(cfg) })
 }

@@ -2,22 +2,267 @@ package tuner
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 
 	"dstune/internal/directsearch"
+	"dstune/internal/ivec"
 	"dstune/internal/sim"
 	"dstune/internal/xfer"
 )
 
-// searchTuner is the common frame of cs-tuner and nm-tuner
-// (Algorithms 2 and 3): run the inner direct search to convergence,
-// then hold the incumbent and monitor consecutive epoch throughputs;
-// when they differ by more than the tolerance, invoke the search
-// again.
+// Phases of the search strategies (cs-tuner, nm-tuner, model).
+const (
+	searchPhaseSearch  = "search"  // the inner direct search is running
+	searchPhaseMonitor = "monitor" // holding the incumbent under the ε-monitor
+)
+
+// Inner-search kinds of SearchStrategy.
+const (
+	searchKindCompass = "compass"
+	searchKindNM      = "nm"
+)
+
+// SearchState is the serializable state of cs-tuner and nm-tuner: the
+// tuner phase, the monitor incumbent, the ε-monitor, the RNG stream
+// position, and — while a search is in flight — the inner search's
+// complete position (the compass step size, polling queue, and
+// pending candidate, or the Nelder–Mead simplex and working points).
+type SearchState struct {
+	Phase string `json:"phase"`
+	// X is the incumbent held during the monitor phase.
+	X []int `json:"x,omitempty"`
+	// Monitor is the ε-monitor state (armed flag and baseline).
+	Monitor Monitor `json:"monitor"`
+	// RNG is the random stream position (binary, JSON-encoded as
+	// base64).
+	RNG []byte `json:"rng,omitempty"`
+	// Compass is the inner compass search state (cs-tuner, search
+	// phase only).
+	Compass *directsearch.CompassState `json:"compass,omitempty"`
+	// NM is the inner Nelder–Mead state (nm-tuner, search phase only).
+	NM *directsearch.NMState `json:"nm,omitempty"`
+}
+
+// SearchStrategy is the common frame of cs-tuner and nm-tuner
+// (Algorithms 2 and 3) as a propose/observe state machine: run the
+// inner direct search to convergence, one control epoch per
+// evaluation, then hold the incumbent and monitor consecutive epoch
+// throughputs; when they differ by more than the tolerance, start the
+// search again.
+type SearchStrategy struct {
+	cfg  Config
+	name string
+	kind string
+	x0   []int
+	rng  *sim.RNG
+	srch directsearch.Searcher
+
+	phase   string
+	x       []int
+	monitor Monitor
+}
+
+// newSearchStrategy builds the shared cs/nm frame under the given
+// name (the Joint tuner reuses it as "joint-cs"/"joint-nm").
+func newSearchStrategy(name, kind string, cfg Config) *SearchStrategy {
+	cfg = cfg.withDefaults()
+	s := &SearchStrategy{
+		cfg:     cfg,
+		name:    name,
+		kind:    kind,
+		x0:      cfg.Box.ClampInt(cfg.Start),
+		rng:     sim.NewRNG(cfg.Seed),
+		monitor: Monitor{Tolerance: cfg.Tolerance},
+	}
+	s.startSearch(s.x0)
+	s.advance()
+	return s
+}
+
+// NewCSStrategy returns the compass-search strategy of Algorithm 2.
+func NewCSStrategy(cfg Config) *SearchStrategy {
+	return newSearchStrategy("cs-tuner", searchKindCompass, cfg)
+}
+
+// NewNMStrategy returns the Nelder–Mead strategy of Algorithm 3.
+func NewNMStrategy(cfg Config) *SearchStrategy {
+	return newSearchStrategy("nm-tuner", searchKindNM, cfg)
+}
+
+// newSearch builds a fresh inner search from a starting vector.
+func (s *SearchStrategy) newSearch(start []int) directsearch.Searcher {
+	switch s.kind {
+	case searchKindNM:
+		return directsearch.NewNelderMead(start, s.cfg.Box, s.nmConfig())
+	default:
+		return directsearch.NewCompass(start, s.cfg.Box, directsearch.CompassConfig{
+			Lambda: s.cfg.Lambda,
+		}, s.rng)
+	}
+}
+
+// nmConfig resolves the Nelder–Mead configuration (InitStep defaults
+// to Lambda).
+func (s *SearchStrategy) nmConfig() directsearch.NMConfig {
+	nmCfg := s.cfg.NM
+	if nmCfg.InitStep == 0 {
+		nmCfg.InitStep = s.cfg.Lambda
+	}
+	return nmCfg
+}
+
+// startSearch enters the search phase with a fresh inner search.
+func (s *SearchStrategy) startSearch(start []int) {
+	s.phase = searchPhaseSearch
+	s.srch = s.newSearch(start)
+}
+
+// advance resolves the inner search's pending transitions. On return,
+// either the search holds a pending candidate (so Propose is pure) or
+// it converged and the strategy moved to the monitor phase with the
+// incumbent and a re-armed monitor.
+func (s *SearchStrategy) advance() {
+	if s.phase != searchPhaseSearch {
+		return
+	}
+	if _, done := s.srch.Suggest(); !done {
+		return
+	}
+	// Line 17 done: adopt the incumbent and start monitoring.
+	bx, bf := s.srch.Best()
+	if len(bx) == 0 {
+		bx = ivec.Clone(s.x0)
+	}
+	s.x = bx
+	s.monitor.Reset(bf)
+	s.phase = searchPhaseMonitor
+	s.srch = nil
+}
+
+// Name implements Strategy.
+func (s *SearchStrategy) Name() string { return s.name }
+
+// Propose implements Strategy.
+func (s *SearchStrategy) Propose() ([]int, bool) {
+	if s.phase == searchPhaseSearch {
+		// advance left a pending candidate, so Suggest is pure here.
+		cand, _ := s.srch.Suggest()
+		return ivec.Clone(cand), false
+	}
+	return ivec.Clone(s.x), false
+}
+
+// Observe implements Strategy.
+func (s *SearchStrategy) Observe(rep xfer.Report) {
+	f := fitnessOf(s.cfg, rep)
+	if s.phase == searchPhaseSearch {
+		s.srch.Observe(f)
+		s.advance()
+		return
+	}
+	// Lines 18-25: the monitor loop.
+	if s.monitor.Observe(f) {
+		start := s.x0
+		if s.cfg.Restart == FromCurrent {
+			start = s.x
+		}
+		s.startSearch(start)
+		s.advance()
+	}
+}
+
+// Snapshot implements Strategy.
+func (s *SearchStrategy) Snapshot() (json.RawMessage, error) {
+	st := SearchState{
+		Phase:   s.phase,
+		X:       s.x,
+		Monitor: s.monitor,
+	}
+	rng, err := s.rng.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("tuner: %s snapshot: %w", s.name, err)
+	}
+	st.RNG = rng
+	switch srch := s.srch.(type) {
+	case *directsearch.Compass:
+		cs := srch.Snapshot()
+		st.Compass = &cs
+	case *directsearch.NelderMead:
+		nm := srch.Snapshot()
+		st.NM = &nm
+	}
+	return json.Marshal(st)
+}
+
+// Restore implements Strategy.
+func (s *SearchStrategy) Restore(raw json.RawMessage) error {
+	var st SearchState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("tuner: %s state: %w", s.name, err)
+	}
+	rng := sim.NewRNG(s.cfg.Seed)
+	if len(st.RNG) > 0 {
+		if err := rng.UnmarshalBinary(st.RNG); err != nil {
+			return fmt.Errorf("tuner: %s state rng: %w", s.name, err)
+		}
+	}
+	var srch directsearch.Searcher
+	switch st.Phase {
+	case searchPhaseSearch:
+		var err error
+		srch, err = s.restoreSearch(st, rng)
+		if err != nil {
+			return err
+		}
+	case searchPhaseMonitor:
+		if len(st.X) != s.cfg.Box.Dim() {
+			return fmt.Errorf("tuner: %s state incumbent has %d dims, box has %d", s.name, len(st.X), s.cfg.Box.Dim())
+		}
+	default:
+		return fmt.Errorf("tuner: %s state has unknown phase %q", s.name, st.Phase)
+	}
+	st.Monitor.Tolerance = s.cfg.Tolerance
+	s.phase = st.Phase
+	s.x = st.X
+	s.monitor = st.Monitor
+	s.rng = rng
+	s.srch = srch
+	return nil
+}
+
+// restoreSearch rebuilds the in-flight inner search from its
+// serialized state, enforcing the advance invariant: a search-phase
+// snapshot always carries a pending candidate.
+func (s *SearchStrategy) restoreSearch(st SearchState, rng *sim.RNG) (directsearch.Searcher, error) {
+	switch s.kind {
+	case searchKindNM:
+		if st.NM == nil {
+			return nil, fmt.Errorf("tuner: %s state is mid-search but has no nm state", s.name)
+		}
+		if !st.NM.Pending.Set {
+			return nil, fmt.Errorf("tuner: %s state is mid-search with no pending candidate", s.name)
+		}
+		return directsearch.NewNelderMeadFromState(*st.NM, s.cfg.Box, s.nmConfig())
+	default:
+		if st.Compass == nil {
+			return nil, fmt.Errorf("tuner: %s state is mid-search but has no compass state", s.name)
+		}
+		if !st.Compass.Pending.Set {
+			return nil, fmt.Errorf("tuner: %s state is mid-search with no pending candidate", s.name)
+		}
+		return directsearch.NewCompassFromState(*st.Compass, s.cfg.Box, directsearch.CompassConfig{
+			Lambda: s.cfg.Lambda,
+		}, rng)
+	}
+}
+
+// searchTuner is cs-tuner or nm-tuner as a blocking Tuner: a
+// SearchStrategy under the shared Driver.
 type searchTuner struct {
 	cfg  Config
 	name string
-	// newSearch builds a fresh inner search from a starting vector.
-	newSearch func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher
+	kind string
 }
 
 // Name implements Tuner.
@@ -25,118 +270,17 @@ func (s *searchTuner) Name() string { return s.name }
 
 // Tune implements Tuner.
 func (s *searchTuner) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(s.name, s.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	cfg := r.cfg
-	rng := sim.NewRNG(cfg.Seed)
-	x0 := cfg.Box.ClampInt(cfg.Start)
-
-	// The checkpoint's diagnostic search state: the tuner phase, the
-	// inner search's position, and the RNG stream position. Resume
-	// rebuilds all of it by replay; the snapshot exists for
-	// inspection.
-	phase := "search"
-	var srch directsearch.Searcher
-	r.searchState = func() any { return searchSnapshot(phase, srch, rng) }
-
-	// search drives one inner direct search to convergence, one
-	// control epoch per evaluation, and returns the incumbent.
-	search := func(start []int) (x []int, f float64, stop bool, err error) {
-		phase = "search"
-		srch = s.newSearch(start, cfg, rng)
-		for {
-			cand, done := srch.Suggest()
-			if done {
-				x, f = srch.Best()
-				return x, f, false, nil
-			}
-			rep, stop, err := r.run(ctx, cand)
-			if err != nil || stop {
-				bx, bf := srch.Best()
-				if bx == nil {
-					bx = start
-				}
-				return bx, bf, true, err
-			}
-			srch.Observe(r.fitness(rep))
-		}
-	}
-
-	// Line 17: the initial search from x0.
-	x, fLast, stop, err := search(x0)
-	if err != nil || stop {
-		return r.tr, err
-	}
-	phase = "monitor"
-
-	// Lines 18-25: the monitor loop.
-	for {
-		rep, stop, err := r.run(ctx, x)
-		if err != nil || stop {
-			return r.tr, err
-		}
-		dc := delta(fLast, r.fitness(rep))
-		fLast = r.fitness(rep)
-		if dc > cfg.Tolerance || dc < -cfg.Tolerance {
-			start := x0
-			if cfg.Restart == FromCurrent {
-				start = x
-			}
-			x, fLast, stop, err = search(start)
-			if err != nil || stop {
-				return r.tr, err
-			}
-			phase = "monitor"
-		}
-	}
-}
-
-// searchSnapshot composes the diagnostic search state cs-tuner and
-// nm-tuner record in checkpoints: the tuner phase, the inner search's
-// position (the compass step size and polling queue, or the
-// Nelder–Mead simplex), and the RNG stream position (JSON-encoded as
-// base64).
-func searchSnapshot(phase string, srch directsearch.Searcher, rng *sim.RNG) any {
-	st := map[string]any{"phase": phase}
-	switch s := srch.(type) {
-	case *directsearch.Compass:
-		st["search"] = s.Snapshot()
-	case *directsearch.NelderMead:
-		st["search"] = s.Snapshot()
-	}
-	if b, err := rng.MarshalBinary(); err == nil {
-		st["rng"] = b
-	}
-	return st
+	return tuneWith(ctx, s.cfg, t, func(cfg Config) Strategy {
+		return newSearchStrategy(s.name, s.kind, cfg)
+	})
 }
 
 // NewCS returns the compass-search tuner of Algorithm 2.
 func NewCS(cfg Config) Tuner {
-	return &searchTuner{
-		cfg:  cfg,
-		name: "cs-tuner",
-		newSearch: func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher {
-			return directsearch.NewCompass(start, cfg.Box, directsearch.CompassConfig{
-				Lambda: cfg.Lambda,
-			}, rng)
-		},
-	}
+	return &searchTuner{cfg: cfg, name: "cs-tuner", kind: searchKindCompass}
 }
 
 // NewNM returns the Nelder–Mead tuner of Algorithm 3.
 func NewNM(cfg Config) Tuner {
-	return &searchTuner{
-		cfg:  cfg,
-		name: "nm-tuner",
-		newSearch: func(start []int, cfg Config, rng *sim.RNG) directsearch.Searcher {
-			nmCfg := cfg.NM
-			if nmCfg.InitStep == 0 {
-				nmCfg.InitStep = cfg.Lambda
-			}
-			return directsearch.NewNelderMead(start, cfg.Box, nmCfg)
-		},
-	}
+	return &searchTuner{cfg: cfg, name: "nm-tuner", kind: searchKindNM}
 }

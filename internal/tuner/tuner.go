@@ -125,14 +125,20 @@ type Config struct {
 	// resumed later. See FileCheckpoint for the durable file form.
 	Checkpoint CheckpointWriter
 	// Resume, when non-nil, continues the run recorded in the
-	// checkpoint instead of starting fresh: the recorded epochs are
-	// replayed through the tuner — rebuilding its in-memory search
-	// state exactly, without touching the transfer — and live tuning
+	// checkpoint instead of starting fresh: the strategy's serialized
+	// state is deserialized directly — an O(1) continuation, no epoch
+	// is replayed — the recorded trace is preloaded, and live tuning
 	// continues mid-trajectory from the first unrecorded epoch. The
 	// checkpoint's seed overrides Seed. The transfer passed to Tune
 	// must carry the checkpoint's remaining bytes and clock (see
 	// xfer.TransferState and Checkpoint.Transfer).
 	Resume *Checkpoint
+	// ValidateResume makes Resume rebuild the strategy by replaying
+	// the recorded reports through it instead of deserializing its
+	// state, verifying that every proposal matches what the checkpoint
+	// recorded — an opt-in divergence check for resumes whose
+	// configuration may have drifted since the checkpoint was written.
+	ValidateResume bool
 	// Drain, when non-nil, requests a graceful stop: once the channel
 	// is closed, tuning finishes the in-flight control epoch, writes a
 	// final checkpoint, leaves the transfer running, and returns
@@ -340,205 +346,6 @@ type Tuner interface {
 	Tune(ctx context.Context, t xfer.Transferer) (*Trace, error)
 }
 
-// runner holds the per-Tune state shared by all tuners.
-type runner struct {
-	cfg Config
-	t   xfer.Transferer
-	tr  *Trace
-	// transients counts consecutive transient epoch failures.
-	transients int
-	// records mirrors tr.Results with the transient flag attached —
-	// the trace a checkpoint carries.
-	records []EpochRecord
-	// replay holds resumed epochs not yet replayed; while it is
-	// non-empty, run feeds recorded reports back instead of driving
-	// the transfer, which rebuilds the tuner's in-memory search state
-	// exactly: every tuner is a deterministic function of its config,
-	// seed, and observed report sequence.
-	replay []EpochRecord
-	// searchState, when a tuner sets it, returns the inner search's
-	// serializable snapshot for the checkpoint's diagnostic Search
-	// field.
-	searchState func() any
-	// preserve suppresses Stop on close: set when the run is
-	// interrupted, because stopping the transfer would discard state a
-	// resumed run needs (a real-socket Stop deletes the server-side
-	// byte account).
-	preserve bool
-}
-
-// newRunner validates cfg and prepares a run against t. With
-// cfg.Resume set it also checks that the checkpoint belongs to this
-// tuner, adopts its seed, and queues its trace for replay.
-func newRunner(name string, cfg Config, t xfer.Transferer) (*runner, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	r := &runner{cfg: cfg.withDefaults(), t: t, tr: &Trace{Tuner: name}}
-	if ck := cfg.Resume; ck != nil {
-		if ck.Version != CheckpointVersion {
-			return nil, fmt.Errorf("tuner: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
-		}
-		if ck.Tuner != name {
-			return nil, fmt.Errorf("tuner: checkpoint belongs to %q, cannot resume with %q", ck.Tuner, name)
-		}
-		if ck.Epochs != len(ck.Trace) {
-			return nil, fmt.Errorf("tuner: corrupt checkpoint: %d epochs but %d trace records", ck.Epochs, len(ck.Trace))
-		}
-		r.cfg.Seed = ck.Seed
-		r.replay = append([]EpochRecord(nil), ck.Trace...)
-	}
-	return r, nil
-}
-
-// interrupted reports the pending interrupt, if any: a cancelled ctx
-// (hard abort) or a closed Drain channel (stop at the epoch
-// boundary). Either way the transfer is preserved for resumption.
-func (r *runner) interrupted(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		r.preserve = true
-		return err
-	}
-	if r.cfg.Drain != nil {
-		select {
-		case <-r.cfg.Drain:
-			r.preserve = true
-			return ErrInterrupted
-		default:
-		}
-	}
-	return nil
-}
-
-// close releases the transfer, unless the run was interrupted — an
-// interrupted transfer is left alive so a checkpointed run can resume
-// it (the caller may still Stop it explicitly).
-func (r *runner) close() {
-	if r.preserve {
-		return
-	}
-	r.t.Stop()
-}
-
-// record appends an epoch to the trace and the checkpoint record.
-func (r *runner) record(x []int, rep xfer.Report, transient bool) {
-	r.tr.add(x, rep)
-	xc := make([]int, len(x))
-	copy(xc, x)
-	r.records = append(r.records, EpochRecord{X: xc, Report: rep, Transient: transient})
-}
-
-// replayOne consumes the next resumed epoch: it checks that the tuner
-// proposed the same vector the original run recorded (a divergence
-// means the configuration changed since the checkpoint was written)
-// and feeds the recorded report back so the tuner's search state
-// advances exactly as it originally did.
-func (r *runner) replayOne(x []int) (xfer.Report, bool, error) {
-	rec := r.replay[0]
-	if !equalInts(x, rec.X) {
-		return xfer.Report{}, true, fmt.Errorf(
-			"tuner: resume diverged at epoch %d: proposed %v, checkpoint recorded %v (was the configuration changed?)",
-			len(r.records), x, rec.X)
-	}
-	r.replay = r.replay[1:]
-	if rec.Transient {
-		r.transients++
-	} else {
-		r.transients = 0
-	}
-	r.record(rec.X, rec.Report, rec.Transient)
-	// Stop conditions come from the record, not the live transfer:
-	// the live clock already sits at the end of the resumed run, and
-	// judging mid-replay epochs by it would truncate the replay.
-	stop := rec.Report.Done
-	if r.cfg.Budget > 0 && rec.Report.End >= r.cfg.Budget-1e-9 {
-		stop = true
-	}
-	return rec.Report, stop, nil
-}
-
-// spent reports whether the transfer is finished or out of budget.
-func (r *runner) spent() bool {
-	if r.t.Remaining() <= 0 {
-		return true
-	}
-	if r.cfg.Budget > 0 && r.t.Now() >= r.cfg.Budget-1e-9 {
-		return true
-	}
-	return false
-}
-
-// run executes one control epoch with vector x and records it. The
-// bool result reports whether tuning should stop.
-//
-// While resumed epochs remain queued, run replays them instead of
-// driving the transfer (see runner.replay). Otherwise it first checks
-// for an interrupt: a cancelled ctx or a closed Drain channel stops
-// tuning at this epoch boundary after a final checkpoint. A ctx
-// cancelled mid-epoch records the partial epoch (when it carries any
-// transfer time), checkpoints, and stops with the context's error.
-//
-// A transient failure (xfer.ErrTransient) does not abort the trace:
-// up to MaxTransientFailures-1 consecutive failures are each recorded
-// as a zero-throughput epoch and tuning continues — the zero reading
-// trips the ε-monitor, so the search re-engages once the transfer
-// recovers. The MaxTransientFailures-th consecutive failure, and any
-// fatal error, stops tuning with the error.
-func (r *runner) run(ctx context.Context, x []int) (xfer.Report, bool, error) {
-	if len(r.replay) > 0 {
-		return r.replayOne(x)
-	}
-	if err := r.interrupted(ctx); err != nil {
-		if ckErr := r.checkpoint(); ckErr != nil {
-			return xfer.Report{}, true, ckErr
-		}
-		return xfer.Report{}, true, err
-	}
-	p := r.cfg.Map(x)
-	start := r.t.Now()
-	rep, err := r.t.Run(ctx, p, r.cfg.Epoch)
-	switch {
-	case err == nil:
-		r.transients = 0
-		r.record(x, rep, false)
-		if ckErr := r.checkpoint(); ckErr != nil {
-			return rep, true, ckErr
-		}
-		return rep, rep.Done || r.spent(), nil
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		r.preserve = true
-		if rep.End > rep.Start {
-			r.record(x, rep, false)
-		}
-		if ckErr := r.checkpoint(); ckErr != nil {
-			return rep, true, ckErr
-		}
-		return rep, true, err
-	case xfer.IsTransient(err):
-		r.transients++
-		if r.transients < r.cfg.MaxTransientFailures {
-			rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
-			r.record(x, rep, true)
-			if ckErr := r.checkpoint(); ckErr != nil {
-				return rep, true, ckErr
-			}
-			return rep, r.spent(), nil
-		}
-		return rep, true, err
-	default:
-		return rep, true, err
-	}
-}
-
-// fitness returns the objective value of an epoch under the
-// configured observation mode.
-func (r *runner) fitness(rep xfer.Report) float64 {
-	if r.cfg.ObserveBestCase {
-		return rep.BestCase
-	}
-	return rep.Throughput
-}
-
 // delta returns the paper's relative change 100*(f1-f0)/f0 in percent,
 // treating a zero baseline as an infinite change when f1 moved.
 func delta(f0, f1 float64) float64 {
@@ -551,38 +358,35 @@ func delta(f0, f1 float64) float64 {
 	return 100 * (f1 - f0) / f0
 }
 
+// tuneWith is the common Tune body of the built-in tuners: validate,
+// adopt a resumed checkpoint's seed before the strategy (and so its
+// RNG) is constructed, and hand the strategy to the Driver.
+func tuneWith(ctx context.Context, cfg Config, t xfer.Transferer, mk func(Config) Strategy) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ck := cfg.Resume; ck != nil {
+		cfg.Seed = ck.Seed
+	}
+	return NewDriver(cfg).Run(ctx, mk(cfg), t)
+}
+
 // Static is the non-adaptive baseline: it runs the transfer with the
 // starting parameters forever. With Start mapping to nc=2, np=8 it is
 // the paper's `default` (the Globus service's large-file setting).
 type Static struct {
-	cfg  Config
-	name string
+	cfg Config
 }
 
-// NewStatic returns a static tuner named name ("default" if empty).
+// NewStatic returns a static tuner.
 func NewStatic(cfg Config) *Static {
-	return &Static{cfg: cfg, name: "default"}
+	return &Static{cfg: cfg}
 }
 
 // Name implements Tuner.
-func (s *Static) Name() string { return s.name }
+func (s *Static) Name() string { return "default" }
 
 // Tune implements Tuner.
 func (s *Static) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
-	r, err := newRunner(s.name, s.cfg, t)
-	if err != nil {
-		return nil, err
-	}
-	defer r.close()
-	x := s.cfg.Box.ClampInt(s.cfg.Start)
-	for {
-		// While replaying, stop conditions come from the records (the
-		// live clock already sits at the end of the resumed run).
-		if len(r.replay) == 0 && r.spent() {
-			return r.tr, nil
-		}
-		if _, stop, err := r.run(ctx, x); err != nil || stop {
-			return r.tr, err
-		}
-	}
+	return tuneWith(ctx, s.cfg, t, func(cfg Config) Strategy { return NewStaticStrategy(cfg) })
 }
