@@ -1,18 +1,36 @@
 // benchjson converts `go test -bench` output on stdin into a JSON
-// summary on stdout: benchmark name → ns/op and allocs/op. CI runs it
-// after the bench job and uploads the result as the BENCH_ci.json
+// summary on stdout: benchmark name → ns/op, allocs/op, and any
+// custom b.ReportMetric values (e.g. "dials/epoch", "MB/s"). CI runs
+// it after the bench job and uploads the result as the BENCH_ci.json
 // artifact, so regressions diff as one small file instead of raw logs.
+//
+// With -baseline FILE the current results are additionally gated
+// against a committed baseline (a previous benchjson output):
+// benchjson exits 1 when a tracked metric regresses by more than 20%
+// over its baseline value. Only metrics where "bigger is worse" and
+// the measurement is stable enough for CI are tracked — allocs/op,
+// and custom metrics whose name contains "dials" or "deadtime". Each
+// comparison also requires the absolute growth to clear a floor
+// (2 allocs/op; 0.1 dials; 1 unit of deadtime), so timer jitter on
+// tiny values cannot flake the gate, while a warm path that starts
+// dialing again is caught even from a zero baseline. Benchmarks are
+// matched by name with the -N GOMAXPROCS suffix stripped, and only
+// benchmarks present in both files are compared, so adding or
+// removing benchmarks never trips the gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./cmd/benchjson > BENCH_ci.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./cmd/benchjson -baseline BENCH_baseline.json > BENCH_ci.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -24,9 +42,14 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// Metrics holds custom b.ReportMetric values by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
+	baselinePath := flag.String("baseline", "", "committed benchjson output to gate regressions against")
+	flag.Parse()
+
 	results := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -55,11 +78,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *baselinePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	baseline := map[string]result{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+	if msgs := compare(baseline, results); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", m)
+		}
+		os.Exit(1)
+	}
 }
 
 // parseLine reads one `go test -bench` result line, e.g.
 //
-//	BenchmarkSimEpoch-8  42  123456 ns/op  2048 B/op  12 allocs/op
+//	BenchmarkSimEpoch-8  42  123456 ns/op  2048 B/op  12 allocs/op  0.5 dials/epoch
 //
 // Lines that are not benchmark results report ok=false. The -N GOMAXPROCS
 // suffix is kept: it is part of the benchmark's identity in CI.
@@ -87,10 +130,89 @@ func parseLine(line string) (string, result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	if !seen {
 		return "", result{}, false
 	}
 	return fields[0], r, true
+}
+
+// procSuffix is the -N GOMAXPROCS suffix go test appends to benchmark
+// names; it is stripped when matching against the baseline so runner
+// core counts don't defeat the comparison.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// trackedMetric reports whether a custom metric participates in the
+// regression gate, and the absolute growth floor (in the metric's own
+// unit) a regression must clear in addition to the relative slack.
+func trackedMetric(name string) (floor float64, ok bool) {
+	l := strings.ToLower(name)
+	switch {
+	case strings.Contains(l, "dials"):
+		return 0.1, true
+	case strings.Contains(l, "deadtime"):
+		return 1.0, true
+	}
+	return 0, false
+}
+
+// exceeded applies the gate: a regression is a value both more than
+// 20% over baseline and more than the absolute floor above it.
+func exceeded(cur, base, floor float64) bool {
+	return cur > base*1.20 && cur-base > floor
+}
+
+// compare gates cur against base, returning one message per tracked
+// regression. Only benchmarks present in both (modulo the GOMAXPROCS
+// suffix) are compared.
+func compare(base, cur map[string]result) []string {
+	norm := func(m map[string]result) map[string]result {
+		out := make(map[string]result, len(m))
+		for name, r := range m {
+			out[procSuffix.ReplaceAllString(name, "")] = r
+		}
+		return out
+	}
+	b, c := norm(base), norm(cur)
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var msgs []string
+	for _, name := range names {
+		cr := c[name]
+		br, ok := b[name]
+		if !ok {
+			continue
+		}
+		if exceeded(float64(cr.AllocsPerOp), float64(br.AllocsPerOp), 2) {
+			msgs = append(msgs, fmt.Sprintf("%s: allocs/op %d, baseline %d", name, cr.AllocsPerOp, br.AllocsPerOp))
+		}
+		keys := make([]string, 0, len(cr.Metrics))
+		for k := range cr.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			floor, tracked := trackedMetric(k)
+			if !tracked {
+				continue
+			}
+			bv, ok := br.Metrics[k]
+			if !ok {
+				continue
+			}
+			if exceeded(cr.Metrics[k], bv, floor) {
+				msgs = append(msgs, fmt.Sprintf("%s: %s %g, baseline %g", name, k, cr.Metrics[k], bv))
+			}
+		}
+	}
+	return msgs
 }

@@ -82,6 +82,8 @@ func main() {
 	retries := flag.Int("retries", 0, "dial attempts per connection, transient failures retried with backoff; 0 = 3 (socket mode)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling per retry; 0 = 50ms (socket mode)")
 	minStreams := flag.Int("min-streams", 0, "minimum data connections to run a degraded epoch; 0 = 1 (socket mode)")
+	sockBuf := flag.Int("sockbuf", 0, "kernel socket buffer bytes per data connection; 0 = OS default (socket mode)")
+	cold := flag.Bool("cold", false, "disable the warm stripe pool: re-dial every data connection each epoch (socket mode)")
 	maxTransient := flag.Int("max-transient", 0, "consecutive transient epoch failures tolerated before aborting; 0 = 3")
 
 	// Disk-mode flags.
@@ -166,6 +168,8 @@ func main() {
 			Retry:      dstune.RetryConfig{Attempts: *retries, Backoff: *retryBackoff},
 			MinStreams: *minStreams,
 			Seed:       *seed,
+			SockBuf:    *sockBuf,
+			ColdStart:  *cold,
 		}
 		if resume != nil {
 			if resume.Transfer.Total >= 0 {

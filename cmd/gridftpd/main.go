@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gridftpd [-addr :7632] [-token-ttl 5m] [-v]
+//	gridftpd [-addr :7632] [-token-ttl 5m] [-sockbuf N] [-v]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	log.SetPrefix("gridftpd: ")
 	addr := flag.String("addr", ":7632", "listen address")
 	tokenTTL := flag.Duration("token-ttl", 5*time.Minute, "idle expiry for per-transfer byte counters; 0 disables")
+	sockBuf := flag.Int("sockbuf", 0, "kernel socket buffer bytes for accepted connections; 0 = OS default")
 	verbose := flag.Bool("v", false, "log connection errors")
 	flag.Parse()
 
@@ -32,6 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv.SetTokenTTL(*tokenTTL)
+	srv.SetSockBuf(*sockBuf)
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}

@@ -3,6 +3,9 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dstune/internal/directsearch"
 	"dstune/internal/load"
@@ -10,6 +13,44 @@ import (
 	"dstune/internal/tuner"
 	"dstune/internal/xfer"
 )
+
+// forEachCell runs fn(i) for every i in [0, n) on a bounded worker
+// pool (GOMAXPROCS workers) and returns the lowest-index error. Each
+// cell must be self-contained — its own seeded fabric and RNGs — and
+// must write its result into an index-addressed slot, so the output
+// is deterministic and independent of completion order.
+func forEachCell(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // RunConfig carries the knobs shared by the figure harnesses. The zero
 // value reproduces the paper's settings.
@@ -197,34 +238,59 @@ func Fig1(tb Testbed, cfg Fig1Config) (*Fig1Result, error) {
 		Summary:     make(map[load.Load]map[int]stats.Summary),
 		Critical:    make(map[load.Load]int),
 	}
+	// Flatten the (load, nc, repeat) sweep into independent cells —
+	// each runs on its own fabric seeded by its repeat index alone, so
+	// the per-cell throughput is identical whether cells run
+	// sequentially or on the worker pool.
+	type cell struct {
+		l       load.Load
+		nc, rep int
+	}
+	cells := make([]cell, 0, len(cfg.Loads)*len(cfg.Concurrency)*cfg.Repeats)
+	for _, l := range cfg.Loads {
+		for _, nc := range cfg.Concurrency {
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				cells = append(cells, cell{l: l, nc: nc, rep: rep})
+			}
+		}
+	}
+	tputs := make([]float64, len(cells))
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		f, _, err := tb.NewFabric(cfg.Seed + uint64(c.rep))
+		if err != nil {
+			return err
+		}
+		f.SetLoad(load.Constant(c.l), nil)
+		tr, err := f.NewTransfer(xfer.TransferConfig{
+			Name:   fmt.Sprintf("fig1-nc%d-r%d", c.nc, c.rep),
+			Bytes:  xfer.Unbounded,
+			Policy: xfer.RestartOnChange,
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := tr.Run(context.Background(), xfer.Params{NC: c.nc, NP: 1}, cfg.Duration)
+		tr.Stop()
+		if err != nil {
+			return err
+		}
+		tputs[i] = rep.Throughput
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Summarize sequentially; cells were appended repeats-innermost, so
+	// each (load, nc) owns a contiguous run of cfg.Repeats slots.
+	next := 0
 	for _, l := range cfg.Loads {
 		perNC := make(map[int]stats.Summary, len(cfg.Concurrency))
 		medians := make(map[int]float64, len(cfg.Concurrency))
 		for _, nc := range cfg.Concurrency {
-			tputs := make([]float64, 0, cfg.Repeats)
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				f, _, err := tb.NewFabric(cfg.Seed + uint64(rep))
-				if err != nil {
-					return nil, err
-				}
-				f.SetLoad(load.Constant(l), nil)
-				tr, err := f.NewTransfer(xfer.TransferConfig{
-					Name:   fmt.Sprintf("fig1-nc%d-r%d", nc, rep),
-					Bytes:  xfer.Unbounded,
-					Policy: xfer.RestartOnChange,
-				})
-				if err != nil {
-					return nil, err
-				}
-				rep, err := tr.Run(context.Background(), xfer.Params{NC: nc, NP: 1}, cfg.Duration)
-				tr.Stop()
-				if err != nil {
-					return nil, err
-				}
-				tputs = append(tputs, rep.Throughput)
-			}
-			perNC[nc] = stats.Summarize(tputs)
+			perNC[nc] = stats.Summarize(tputs[next : next+cfg.Repeats])
 			medians[nc] = perNC[nc].Median
+			next += cfg.Repeats
 		}
 		res.Summary[l] = perNC
 		res.Critical[l], _ = stats.ArgmaxKey(medians)
@@ -253,12 +319,23 @@ func runSet(tb Testbed, names []string, scenario string, sched load.Schedule, rc
 		Order:    names,
 		Traces:   make(map[string]*tuner.Trace, len(names)),
 	}
-	for _, name := range names {
-		tr, err := runTuned(tb, name, sched, rc, twoParam)
+	// Each tuner runs on its own identically seeded fabric, so the
+	// runs are independent and can share the worker pool; traces land
+	// in index-addressed slots to keep the result order-independent.
+	traces := make([]*tuner.Trace, len(names))
+	err := forEachCell(len(names), func(i int) error {
+		tr, err := runTuned(tb, names[i], sched, rc, twoParam)
 		if err != nil {
-			return nil, fmt.Errorf("%s under %s: %w", name, scenario, err)
+			return fmt.Errorf("%s under %s: %w", names[i], scenario, err)
 		}
-		res.Traces[name] = tr
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res.Traces[name] = traces[i]
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -53,6 +54,38 @@ func TestFig1Shape(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "critical points") {
 		t.Fatal("Render missing critical points")
+	}
+}
+
+// TestSweepsDeterministic pins the worker-pool parallelization of the
+// sweep loops: every cell runs on its own seeded fabric, so the
+// results must be bit-identical across runs regardless of goroutine
+// scheduling.
+func TestSweepsDeterministic(t *testing.T) {
+	fig := Fig1Config{Seed: 11, Repeats: 2, Duration: 120, Concurrency: []int{1, 8, 64}}
+	a, err := Fig1(ANLtoUChicago(), fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1(ANLtoUChicago(), fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Fig1 not deterministic under parallel sweep:\n%v\nvs\n%v", a, b)
+	}
+
+	rc := RunConfig{Seed: 13, Duration: 300, Epoch: 30}
+	r1, err := TuneConcurrency(ANLtoUChicago(), load.Load{}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := TuneConcurrency(ANLtoUChicago(), load.Load{}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Traces, r2.Traces) {
+		t.Fatal("runSet traces not deterministic under parallel tuner runs")
 	}
 }
 

@@ -40,6 +40,13 @@ type Config struct {
 	// Latency is an extra setup delay added to each successful dial or
 	// accept.
 	Latency time.Duration
+	// OnReset, when non-nil, is invoked with the running reset count
+	// each time the injector aborts a connection mid-stream — the
+	// eviction hook tests use to synchronize with a transfer client
+	// dropping the dead stripe from its warm pool. It is called
+	// outside the injector's lock, from the goroutine whose read or
+	// write tripped the reset.
+	OnReset func(total int)
 }
 
 // Injector produces faulty dials and listeners according to a Config.
@@ -71,11 +78,16 @@ func (in *Injector) refuse() bool {
 	return false
 }
 
-// noteReset records one injected connection reset.
+// noteReset records one injected connection reset and fires the
+// configured eviction hook.
 func (in *Injector) noteReset() {
 	in.mu.Lock()
 	in.resets++
+	total := in.resets
 	in.mu.Unlock()
+	if in.cfg.OnReset != nil {
+		in.cfg.OnReset(total)
+	}
 }
 
 // Dials returns the number of dial/accept attempts seen so far.

@@ -119,6 +119,39 @@ func TestResetAfterBytes(t *testing.T) {
 	}
 }
 
+func TestOnResetHookFires(t *testing.T) {
+	ln := discardServer(t)
+	var totals []int
+	in := New(Config{
+		ResetAfterBytes: 2048,
+		OnReset:         func(total int) { totals = append(totals, total) },
+	})
+	buf := make([]byte, 1024)
+	for round := 1; round <= 3; round++ {
+		conn, err := in.Dial("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := conn.Write(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+	if len(totals) != 3 {
+		t.Fatalf("OnReset fired %d times, want 3 (totals %v)", len(totals), totals)
+	}
+	for i, total := range totals {
+		if total != i+1 {
+			t.Fatalf("OnReset totals %v, want running count 1,2,3", totals)
+		}
+	}
+	if in.Resets() != 3 {
+		t.Fatalf("Resets = %d, want 3", in.Resets())
+	}
+}
+
 func TestListenerInjectsFaults(t *testing.T) {
 	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -2,7 +2,12 @@ package gridftp
 
 import (
 	"context"
+	"io"
+	"math"
+	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dstune/internal/xfer"
 )
@@ -34,5 +39,89 @@ func BenchmarkLoopbackThroughput(b *testing.B) {
 	b.StopTimer()
 	if secs > 0 {
 		b.ReportMetric(bytes/secs/1e6, "MB/s")
+	}
+}
+
+// countDialer counts dial attempts, passing them through to the
+// network.
+type countDialer struct{ n atomic.Int64 }
+
+func (d *countDialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	d.n.Add(1)
+	return net.DialTimeout(network, addr, timeout)
+}
+
+// BenchmarkEpochSetup measures the per-epoch setup cost of the warm
+// data plane against the paper-faithful cold restart: dials per epoch
+// and DeadTime per epoch. warm-steady must report 0 dials/epoch, and
+// warm-delta (an nc 2->3->2 cycle) exactly 0.5 — one dial per two
+// epochs, for the single +1 step.
+func BenchmarkEpochSetup(b *testing.B) {
+	run := func(b *testing.B, cold bool, cycle []int) {
+		s, err := Serve("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		d := &countDialer{}
+		c, err := NewClient(ClientConfig{
+			Addr:      s.Addr(),
+			Bytes:     xfer.Unbounded,
+			Dialer:    d.Dial,
+			ColdStart: cold,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Stop()
+		// Prime the control connection and (warm) the stripe pool at
+		// the cycle's last width, so the timed epochs measure
+		// steady-state behavior.
+		if _, err := c.Run(context.Background(), xfer.Params{NC: cycle[len(cycle)-1], NP: 1}, 0.005); err != nil {
+			b.Fatal(err)
+		}
+		d.n.Store(0)
+		var deadSecs float64
+		epochs := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, nc := range cycle {
+				r, err := c.Run(context.Background(), xfer.Params{NC: nc, NP: 1}, 0.005)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deadSecs += r.DeadTime
+				epochs++
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(d.n.Load())/float64(epochs), "dials/epoch")
+		b.ReportMetric(deadSecs/float64(epochs)*1e3, "deadtime-ms/epoch")
+	}
+	b.Run("warm-steady", func(b *testing.B) { run(b, false, []int{2}) })
+	b.Run("warm-delta", func(b *testing.B) { run(b, false, []int{3, 2}) })
+	b.Run("cold", func(b *testing.B) { run(b, true, []int{2}) })
+}
+
+// BenchmarkPump measures the unshaped pump fast path in isolation:
+// one stream draining a shared budget through byte leases. allocs/op
+// must stay at zero — the lease quantum amortizes the shared-budget
+// CAS and the deadline checks, and the chunk buffer is the package
+// zeros slice.
+func BenchmarkPump(b *testing.B) {
+	var budget atomic.Int64
+	budget.Store(int64(b.N) * chunkSize)
+	abort := make(chan struct{})
+	defer close(abort)
+	b.SetBytes(chunkSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent, alive := pump(io.Discard, math.Inf(1), time.Now().Add(time.Hour), &budget, abort)
+	b.StopTimer()
+	if !alive {
+		b.Fatal("pump reported a dead stream on io.Discard")
+	}
+	if sent != int64(b.N)*chunkSize {
+		b.Fatalf("pump sent %d bytes, want %d", sent, int64(b.N)*chunkSize)
 	}
 }

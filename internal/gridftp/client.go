@@ -85,14 +85,28 @@ type ClientConfig struct {
 	// reports ClockOffset plus the wall time since the first Run, so a
 	// tuning Budget counts cumulative transfer time across sessions.
 	ClockOffset float64
+	// SockBuf, when positive, sizes the kernel socket buffers
+	// (SetReadBuffer/SetWriteBuffer) of every data connection, in
+	// bytes. Zero keeps the OS default.
+	SockBuf int
+	// ColdStart disables the warm stripe pool: every epoch performs
+	// the START handshake and dials a fresh set of data connections,
+	// tearing them down afterwards — the per-epoch process restart of
+	// the paper's wrappers. The default (false) keeps data connections
+	// and the control connection alive across epochs, so a
+	// steady-state epoch performs zero dials.
+	ColdStart bool
 }
 
 // clientSeq disambiguates generated tokens within a process.
 var clientSeq atomic.Int64
 
 // Client is a striped memory-to-memory sender. It implements
-// xfer.Transferer against wall-clock time: each Run opens nc*np data
-// connections, pumps zeros for the epoch, and closes them.
+// xfer.Transferer against wall-clock time: each Run pumps zeros over
+// nc*np data connections for the epoch. The data plane is warm by
+// default — connections persist in a stripe pool across Run calls and
+// only the delta between epochs is dialed or retired (see the package
+// comment); ClientConfig.ColdStart restores the per-epoch restart.
 //
 // Run is fault-tolerant: connection setup retries transiently failed
 // dials with exponential backoff, and an epoch whose stripe partly
@@ -117,6 +131,13 @@ type Client struct {
 	stopped   bool
 	runs      int
 	acked     int64 // server-confirmed bytes (receiver truth)
+
+	// Warm data plane, guarded by mu so Stop can sweep it while a Run
+	// is in flight. Only Run mutates it otherwise (Run is not
+	// concurrent with itself).
+	pool  []net.Conn    // live data stripes, surviving Run boundaries
+	ctrl  net.Conn      // persistent control connection
+	ctrlR *bufio.Reader // reader paired with ctrl
 }
 
 // NewClient returns a client for cfg. It does not touch the network
@@ -214,19 +235,28 @@ func (c *Client) Snapshot() xfer.TransferState {
 }
 
 // Stop implements xfer.Transferer. It aborts an in-flight Run —
-// including its retry backoffs and failed-epoch pacing — and releases
-// the transfer's token counter on the server (a best-effort CLOSE
+// including its retry backoffs and failed-epoch pacing — closes the
+// warm stripe pool and control connection, and releases the
+// transfer's token counter on the server (a best-effort CLOSE
 // exchange), so long-lived servers don't accumulate dead counters.
 func (c *Client) Stop() {
 	c.mu.Lock()
 	already := c.stopped
 	c.stopped = true
 	started := c.started
+	pool, ctrl := c.pool, c.ctrl
+	c.pool, c.ctrl, c.ctrlR = nil, nil, nil
 	c.mu.Unlock()
 	if already {
 		return
 	}
 	close(c.stopCh)
+	for _, conn := range pool {
+		conn.Close()
+	}
+	if ctrl != nil {
+		ctrl.Close()
+	}
 	if !started {
 		return
 	}
@@ -292,25 +322,98 @@ func (c *Client) backoff(k int) time.Duration {
 	return time.Duration(float64(d) * j)
 }
 
-// control dials the server's control port and performs one
-// command/response exchange, retrying transient failures per the
-// retry config. It returns the response and the retries spent. A
-// backoff wait aborts early when ctx is cancelled or the client is
-// stopped, returning the last exchange error.
-func (c *Client) control(ctx context.Context, cmd, wantPrefix string) (resp string, retries int, err error) {
+// ctrlConn returns the persistent control connection, dialing it when
+// absent. The bool reports whether a dial was performed (attempted),
+// successful or not.
+func (c *Client) ctrlConn() (net.Conn, *bufio.Reader, bool, error) {
+	c.mu.Lock()
+	conn, br := c.ctrl, c.ctrlR
+	c.mu.Unlock()
+	if conn != nil {
+		return conn, br, false, nil
+	}
+	conn, err := c.cfg.Dialer("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, nil, true, err
+	}
+	br = bufio.NewReader(conn)
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, nil, true, xfer.ErrStopped
+	}
+	c.ctrl, c.ctrlR = conn, br
+	c.mu.Unlock()
+	return conn, br, true, nil
+}
+
+// dropCtrl discards the persistent control connection (after an
+// exchange error) so the next exchange re-dials it.
+func (c *Client) dropCtrl(conn net.Conn) {
+	c.mu.Lock()
+	if c.ctrl == conn {
+		c.ctrl, c.ctrlR = nil, nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// exchange performs one command/response exchange on the persistent
+// control connection, dialing it only when absent and retrying
+// transient failures per the retry config. It returns the response
+// plus the dials (attempted, successful or not) and retries spent. A
+// failed exchange discards the connection so the next attempt
+// re-dials. A backoff wait aborts early when ctx is cancelled or the
+// client is stopped, returning the last exchange error.
+func (c *Client) exchange(ctx context.Context, cmd, wantPrefix string) (resp string, dials, retries int, err error) {
 	for k := 0; k < c.cfg.Retry.Attempts; k++ {
 		if k > 0 {
 			retries++
 			if !c.sleep(ctx, c.backoff(k)) {
-				return "", retries, err
+				return "", dials, retries, err
 			}
 		}
-		resp, err = c.controlOnce(cmd, wantPrefix)
-		if err == nil || !transientNetErr(err) {
-			return resp, retries, err
+		if ierr := c.interrupted(ctx); ierr != nil {
+			return "", dials, retries, ierr
 		}
+		var conn net.Conn
+		var br *bufio.Reader
+		var dialed bool
+		conn, br, dialed, err = c.ctrlConn()
+		if dialed {
+			dials++
+		}
+		if err != nil {
+			if transientNetErr(err) {
+				continue
+			}
+			return "", dials, retries, err
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+		if _, err = fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+			c.dropCtrl(conn)
+			if transientNetErr(err) {
+				continue
+			}
+			return "", dials, retries, err
+		}
+		resp, err = readLine(br)
+		if err != nil {
+			c.dropCtrl(conn)
+			if transientNetErr(err) {
+				continue
+			}
+			return "", dials, retries, err
+		}
+		conn.SetDeadline(time.Time{})
+		if !strings.HasPrefix(resp, wantPrefix) {
+			c.dropCtrl(conn)
+			return "", dials, retries, fmt.Errorf("%w: %q to %q got %q", ErrProtocol, cmd, wantPrefix, resp)
+		}
+		return resp, dials, retries, nil
 	}
-	return "", retries, err
+	return "", dials, retries, err
 }
 
 // controlOnce performs one un-retried command/response exchange.
@@ -335,24 +438,47 @@ func (c *Client) controlOnce(cmd, wantPrefix string) (string, error) {
 }
 
 // ServerReceived asks the server how many bytes it has received for
-// this transfer's token.
+// this transfer's token, over the persistent control connection.
 func (c *Client) ServerReceived() (int64, error) {
-	resp, _, err := c.control(context.Background(), "STAT "+c.token, "BYTES ")
+	n, _, err := c.serverReceived()
+	return n, err
+}
+
+// serverReceived is ServerReceived plus the dials the STAT exchange
+// spent (zero on a warm control connection).
+func (c *Client) serverReceived() (int64, int, error) {
+	resp, dials, _, err := c.exchange(context.Background(), "STAT "+c.token, "BYTES ")
 	if err != nil {
-		return 0, err
+		return 0, dials, err
 	}
 	var n int64
 	if _, err := fmt.Sscanf(resp, "BYTES %d", &n); err != nil {
-		return 0, fmt.Errorf("%w: bad STAT response %q", ErrProtocol, resp)
+		return 0, dials, fmt.Errorf("%w: bad STAT response %q", ErrProtocol, resp)
 	}
-	return n, nil
+	return n, dials, nil
+}
+
+// setSockBuf applies the configured kernel socket buffer size to
+// conn, when both are available. Wrapped connections (fault
+// injectors) that do not expose the setters are left alone.
+func (c *Client) setSockBuf(conn net.Conn) {
+	if c.cfg.SockBuf <= 0 {
+		return
+	}
+	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
+		rb.SetReadBuffer(c.cfg.SockBuf)
+	}
+	if wb, ok := conn.(interface{ SetWriteBuffer(int) error }); ok {
+		wb.SetWriteBuffer(c.cfg.SockBuf)
+	}
 }
 
 // dialData establishes one data connection (dial plus DATA header),
-// retrying transient failures. It returns the connection and the
-// retries spent. An interrupt (ctx cancel or Stop) aborts the
-// attempts with the interrupt error.
-func (c *Client) dialData(ctx context.Context) (conn net.Conn, retries int, err error) {
+// retrying transient failures. It returns the connection plus the
+// dials (attempted, successful or not) and retries spent. An
+// interrupt (ctx cancel or Stop) aborts the attempts with the
+// interrupt error.
+func (c *Client) dialData(ctx context.Context) (conn net.Conn, dials, retries int, err error) {
 	for k := 0; k < c.cfg.Retry.Attempts; k++ {
 		if k > 0 {
 			retries++
@@ -361,49 +487,53 @@ func (c *Client) dialData(ctx context.Context) (conn net.Conn, retries int, err 
 			}
 		}
 		if ierr := c.interrupted(ctx); ierr != nil {
-			return nil, retries, ierr
+			return nil, dials, retries, ierr
 		}
+		dials++
 		conn, err = c.cfg.Dialer("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 		if err != nil {
 			if transientNetErr(err) {
 				continue
 			}
-			return nil, retries, err
+			return nil, dials, retries, err
 		}
 		if _, err = fmt.Fprintf(conn, "DATA %s\n", c.token); err != nil {
 			conn.Close()
 			if transientNetErr(err) {
 				continue
 			}
-			return nil, retries, err
+			return nil, dials, retries, err
 		}
-		return conn, retries, nil
+		c.setSockBuf(conn)
+		return conn, dials, retries, nil
 	}
 	if ierr := c.interrupted(ctx); ierr != nil {
-		return nil, retries, ierr
+		return nil, dials, retries, ierr
 	}
-	return nil, retries, err
+	return nil, dials, retries, err
 }
 
 // reconcile polls the server's byte count for the token until two
 // consecutive reads agree (the kernel buffers have drained) or a
 // short deadline passes; individual STAT failures are retried within
-// the deadline. The bool result reports whether the server answered
-// at all.
-func (c *Client) reconcile() (int64, bool) {
+// the deadline. It returns the count, the dials spent polling, and
+// whether the server answered at all.
+func (c *Client) reconcile() (int64, int, bool) {
 	deadline := time.Now().Add(500 * time.Millisecond)
 	prev := int64(-1)
+	dials := 0
 	seen := false
 	for {
-		got, err := c.ServerReceived()
+		got, d, err := c.serverReceived()
+		dials += d
 		if err == nil {
 			if seen && got == prev {
-				return got, true
+				return got, dials, true
 			}
 			prev, seen = got, true
 		}
 		if time.Now().After(deadline) {
-			return prev, seen
+			return prev, dials, seen
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -427,6 +557,41 @@ func (c *Client) failEpoch(ctx context.Context, runStart time.Time, epoch float6
 	return err
 }
 
+// takePool detaches the warm stripe pool from the client, giving the
+// caller exclusive ownership for the epoch (so a concurrent Stop
+// cannot double-close the connections mid-pump).
+func (c *Client) takePool() []net.Conn {
+	c.mu.Lock()
+	pool := c.pool
+	c.pool = nil
+	c.mu.Unlock()
+	return pool
+}
+
+// storePool re-attaches the epoch's surviving connections as the warm
+// pool for the next epoch; if the client was stopped meanwhile, they
+// are closed instead.
+func (c *Client) storePool(conns []net.Conn) {
+	c.mu.Lock()
+	stopped := c.stopped
+	if !stopped {
+		c.pool = conns
+	}
+	c.mu.Unlock()
+	if stopped {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+}
+
+// closePool tears down the warm stripe pool (ColdStart mode).
+func (c *Client) closePool() {
+	for _, conn := range c.takePool() {
+		conn.Close()
+	}
+}
+
 // Run implements xfer.Transferer. The epoch is wall-clock seconds. A
 // transiently failed epoch (server unreachable, stripe below
 // MinStreams) still consumes its epoch of wall time, so the tuner's
@@ -434,7 +599,9 @@ func (c *Client) failEpoch(ctx context.Context, runStart time.Time, epoch float6
 // ctx aborts the epoch promptly at any point — dial backoffs,
 // failed-epoch pacing, or mid-pump — and Run returns the partial
 // epoch's report with its byte accounting reconciled against the
-// server, together with the context's error.
+// server, together with the context's error. A cancelled (not
+// stopped) client keeps its warm pool, so a resumed session in the
+// same process re-arms without dialing.
 func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
 	if err := ctx.Err(); err != nil {
 		return xfer.Report{}, err
@@ -465,45 +632,61 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		return xfer.Report{Params: p, Start: startWall, End: startWall, Run: run, Done: true}, nil
 	}
 
-	// Setup phase — the restart analog: a control handshake plus one
-	// dial per data connection. Its duration (including retry
-	// backoffs) is the epoch's DeadTime.
+	// Setup phase. Cold, this is the restart analog: a START handshake
+	// plus one dial per data connection. Warm, it is an ADJ exchange on
+	// the live control connection plus the stripe-width delta — zero
+	// dials when the stream count is unchanged. Either way its
+	// duration (including retry backoffs) is the epoch's DeadTime.
+	if c.cfg.ColdStart {
+		c.closePool()
+	}
+	pool := c.takePool()
 	runStart := time.Now()
 	setupStart := runStart
 	n := p.Streams()
-	var retries int
-	_, rt, err := c.control(ctx, fmt.Sprintf("START %s %d", c.token, n), "OK")
+	var dials, retries int
+	verb := "ADJ"
+	if len(pool) == 0 {
+		verb = "START"
+	}
+	_, d, rt, err := c.exchange(ctx, fmt.Sprintf("%s %s %d", verb, c.token, n), "OK")
+	dials += d
 	retries += rt
 	if err != nil {
+		c.storePool(pool)
 		if ierr := c.interrupted(ctx); ierr != nil {
 			return xfer.Report{}, ierr
 		}
-		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: start: %w", err)))
+		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: %s: %w", strings.ToLower(verb), err)))
 	}
-	conns := make([]net.Conn, 0, n)
-	closeAll := func() {
-		for _, conn := range conns {
-			conn.Close()
-		}
+	// Delta dialing: retire surplus stripes, dial only the missing
+	// ones; the rest of the pool is reused as-is.
+	for len(pool) > n {
+		pool[len(pool)-1].Close()
+		pool = pool[:len(pool)-1]
 	}
+	reused := len(pool)
 	degraded := 0
 	var lastDialErr error
-	for i := 0; i < n; i++ {
-		conn, rt, err := c.dialData(ctx)
+	for miss := n - len(pool); miss > 0; miss-- {
+		conn, d, rt, err := c.dialData(ctx)
+		dials += d
 		retries += rt
 		if err != nil {
 			if ierr := c.interrupted(ctx); ierr != nil {
-				closeAll()
+				c.storePool(pool)
 				return xfer.Report{}, ierr
 			}
 			degraded++
 			lastDialErr = err
 			continue
 		}
-		conns = append(conns, conn)
+		pool = append(pool, conn)
 	}
-	if len(conns) < c.cfg.MinStreams {
-		closeAll()
+	if len(pool) < c.cfg.MinStreams {
+		// The surviving stripes stay pooled: the next epoch re-dials
+		// only the still-missing delta.
+		c.storePool(pool)
 		if lastDialErr == nil {
 			// No dial failed: the epoch simply asked for fewer streams
 			// than MinStreams. A configuration error, not an outage.
@@ -511,7 +694,7 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 				n, c.cfg.MinStreams)
 		}
 		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: only %d/%d data connections (min %d): %w",
-			len(conns), n, c.cfg.MinStreams, lastDialErr)))
+			len(pool), n, c.cfg.MinStreams, lastDialErr)))
 	}
 	dead := time.Since(setupStart).Seconds()
 
@@ -519,11 +702,14 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 	// (ctx cancel or Stop) closes abort — breaking any pacing wait —
 	// and expires every stream's write deadline, so blocked writes
 	// fail immediately and each pump returns its unsent budget.
+	conns := pool
 	deadline := time.Now().Add(time.Duration(epoch * float64(time.Second)))
 	rate := c.cfg.Shaper.perConnRate(len(conns))
 	abort := make(chan struct{})
 	unwatched := make(chan struct{})
+	watchDone := make(chan struct{})
 	go func() {
+		defer close(watchDone)
 		select {
 		case <-ctx.Done():
 		case <-c.stopCh:
@@ -536,31 +722,68 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 			conn.SetWriteDeadline(now)
 		}
 	}()
-	var wg sync.WaitGroup
-	sent := make([]int64, len(conns))
+	// Each pump accumulates into goroutine-local state merged once
+	// after wg.Wait — no adjacent shared counters for the streams to
+	// false-share per chunk.
+	var (
+		wg      sync.WaitGroup
+		mergeMu sync.Mutex
+		local   int64
+		deadIdx map[int]bool
+	)
 	for i, conn := range conns {
 		wg.Add(1)
 		go func(i int, conn net.Conn) {
 			defer wg.Done()
 			conn.SetWriteDeadline(deadline.Add(time.Second))
-			sent[i] = pump(conn, rate, deadline, &c.remaining, abort)
+			sent, alive := pump(conn, rate, deadline, &c.remaining, abort)
+			mergeMu.Lock()
+			local += sent
+			if !alive {
+				if deadIdx == nil {
+					deadIdx = make(map[int]bool)
+				}
+				deadIdx[i] = true
+			}
+			mergeMu.Unlock()
 		}(i, conn)
 	}
 	wg.Wait()
 	close(unwatched)
-	closeAll()
+	// Join the watchdog before touching conns again: an already-fired
+	// watchdog may still be walking the slice whose backing array the
+	// eviction below compacts in place.
+	<-watchDone
 
-	var local int64
-	for _, s := range sent {
-		local += s
+	// Evict dead stripes; the survivors stay warm for the next epoch
+	// (unless ColdStart tears the stripe down per epoch, the paper's
+	// restart behavior).
+	if c.cfg.ColdStart {
+		for _, conn := range conns {
+			conn.Close()
+		}
+		c.storePool(nil)
+	} else {
+		alive := conns[:0]
+		for i, conn := range conns {
+			if deadIdx[i] {
+				conn.Close()
+				continue
+			}
+			alive = append(alive, conn)
+		}
+		c.storePool(alive)
 	}
+
 	bytes := float64(local)
 	// Reconcile against receiver truth: the epoch's volume is what the
 	// server counted, not what sits in kernel socket buffers; bytes
 	// written but lost to a reset go back to the budget, late arrivals
 	// from a prior epoch are re-claimed. This also settles the exact
 	// accounting an interrupted epoch checkpoints.
-	if total, ok := c.reconcile(); ok {
+	total, d, ok := c.reconcile()
+	dials += d
+	if ok {
 		c.mu.Lock()
 		prev := c.acked
 		c.acked = total
@@ -583,6 +806,8 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		DeadTime:        dead,
 		DegradedStreams: degraded,
 		Retries:         retries,
+		Dials:           dials,
+		ReusedStreams:   reused,
 		Run:             run,
 		Done:            c.remaining.Load() <= 0,
 	}

@@ -99,6 +99,21 @@ func TestFleetConcurrentFaultySockets(t *testing.T) {
 			t.Errorf("session %d (%s) trace sums to %v bytes, SessionResult says %v", i, r.Name, moved, r.Bytes)
 		}
 	}
+	// The warm data plane must have carried streams across epochs even
+	// under faults: summed stream reuse across all session traces is
+	// positive (only evicted or retired stripes get re-dialed).
+	reusedTotal := 0
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		for _, res := range r.Traces[0].Results {
+			reusedTotal += res.Report.ReusedStreams
+		}
+	}
+	if reusedTotal == 0 {
+		t.Fatal("no stream was ever reused across the fleet's epochs")
+	}
 	// The faults must actually have fired, or the test exercised nothing.
 	var refused, resets int
 	for _, in := range injectors {

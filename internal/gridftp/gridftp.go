@@ -7,26 +7,42 @@
 // /dev/zero to /dev/null):
 //
 //	client                         server
-//	------ control connection -----------
+//	------ control connection (persistent) ----
 //	START <token> <channels>\n
 //	                               OK\n
-//	------ data connections (channels) --
+//	------ data connections (channels) --------
 //	DATA <token>\n                 (reads and discards, counting)
 //	<raw bytes until close>
-//	------ control connection -----------
+//	------ same control connection ------------
+//	ADJ <token> <channels>\n       (re-arms the next epoch, warm)
+//	                               OK\n
 //	STAT <token>\n
 //	                               BYTES <n>\n
-//	------ control connection -----------
 //	CLOSE <token>\n                (releases the token's counter)
 //	                               OK\n
 //
-// Each Run call opens a fresh set of nc*np data connections, pumps
-// zeros for one control epoch, and tears them down — mirroring the
-// per-epoch process restart of the paper's wrappers; the setup time is
-// reported as the epoch's DeadTime. An optional Shaper imposes
-// per-connection rate limits and a contention penalty that grows with
-// the connection count, recreating on loopback the interior optimum a
-// WAN endpoint exhibits, so the tuners have something real to find.
+// # Warm data plane
+//
+// Data connections form a persistent stripe pool that survives Run
+// boundaries. The first epoch performs the START handshake and dials
+// the full stripe; a later epoch with the same stream count performs
+// zero dials — a lightweight ADJ exchange on the persistent control
+// connection re-arms it — and a ±k change in stream count dials or
+// retires only the k-connection delta. Stripes that die mid-epoch
+// (resets, server failure) are evicted from the pool and only the
+// missing delta is re-dialed, with the usual retry budget, at the
+// next epoch. Report.Dials and Report.ReusedStreams account the
+// split, so DeadTime is attributable to cold setup. Setting
+// ClientConfig.ColdStart restores the paper-faithful behavior — a
+// fresh stripe per epoch, the restart overhead the paper measures —
+// and is the baseline BenchmarkEpochSetup compares against.
+//
+// The epoch's setup time (control exchange plus any delta dialing,
+// including retry backoffs) is reported as DeadTime. An optional
+// Shaper imposes per-connection rate limits and a contention penalty
+// that grows with the connection count, recreating on loopback the
+// interior optimum a WAN endpoint exhibits, so the tuners have
+// something real to find.
 //
 // # Error taxonomy and retry semantics
 //
@@ -68,6 +84,15 @@ import (
 
 // chunkSize is the write size of the zero pump, in bytes.
 const chunkSize = 64 << 10
+
+// leaseQuantum is the byte-lease granularity of the pump: each stream
+// claims this much of the shared budget per refill, so the shared
+// counter sees one CAS per quantum instead of one per chunk.
+const leaseQuantum = 4 << 20
+
+// clockCheckChunks is how many unshaped chunks a pump writes between
+// deadline/abort checks, amortizing the time.Now() calls.
+const clockCheckChunks = 16
 
 // zeros is the shared source buffer (the /dev/zero stand-in).
 var zeros = make([]byte, chunkSize)
@@ -149,47 +174,83 @@ func classify(err error) error {
 	return err
 }
 
+// lease claims up to quantum bytes from the shared budget with a
+// single CAS; it returns 0 when the budget is exhausted.
+func lease(budget *atomic.Int64, quantum int64) int64 {
+	for {
+		left := budget.Load()
+		if left <= 0 {
+			return 0
+		}
+		take := quantum
+		if left < take {
+			take = left
+		}
+		if budget.CompareAndSwap(left, left-take) {
+			return take
+		}
+	}
+}
+
 // pump writes zeros to w at the given rate until the deadline, the
 // shared byte budget runs out, a write fails, or abort is closed. It
-// returns the bytes written.
-func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64, abort <-chan struct{}) int64 {
-	var sent int64
+// returns the bytes written and whether the stream is still usable
+// (false after a write error that is not a deadline expiry — the
+// stream is dead and must be evicted from the pool).
+//
+// The shared budget is consumed through per-stream byte leases of
+// leaseQuantum bytes, so the steady-state path performs no shared CAS
+// per chunk; the unspent lease remainder is refunded on every exit
+// path. Deadline and abort checks on the unshaped path are amortized
+// over clockCheckChunks chunks.
+func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64, abort <-chan struct{}) (sent int64, alive bool) {
+	var leased int64 // unspent bytes of the current lease
+	defer func() {
+		if leased > 0 {
+			budget.Add(leased)
+		}
+	}()
 	start := time.Now()
+	shaped := !math.IsInf(rate, 1)
+	sinceCheck := clockCheckChunks // force a check on the first chunk
 	for {
-		select {
-		case <-abort:
-			return sent
-		default:
+		// Deadline and abort checks: every chunk when pacing (the
+		// pacing math needs the clock anyway), every clockCheckChunks
+		// chunks on the unshaped fast path.
+		if shaped || sinceCheck >= clockCheckChunks {
+			sinceCheck = 0
+			select {
+			case <-abort:
+				return sent, true
+			default:
+			}
+			if time.Now().After(deadline) {
+				return sent, true
+			}
 		}
-		if time.Now().After(deadline) {
-			return sent
+		sinceCheck++
+		if leased == 0 {
+			if leased = lease(budget, leaseQuantum); leased == 0 {
+				return sent, true
+			}
 		}
-		// Claim a chunk from the shared budget.
 		want := int64(chunkSize)
-		for {
-			left := budget.Load()
-			if left <= 0 {
-				return sent
-			}
-			if left < want {
-				want = left
-			}
-			if budget.CompareAndSwap(left, left-want) {
-				break
-			}
+		if leased < want {
+			want = leased
 		}
 		n, err := w.Write(zeros[:want])
 		sent += int64(n)
+		leased -= int64(n)
 		if err != nil {
-			budget.Add(want - int64(n)) // return the unsent remainder
-			return sent
-		}
-		if int64(n) < want {
-			budget.Add(want - int64(n))
+			// A deadline expiry (epoch end, or the abort watchdog
+			// expiring the write) leaves the stream usable; any other
+			// write error is a dead stripe.
+			var ne net.Error
+			return sent, errors.As(err, &ne) && ne.Timeout()
 		}
 		// Token-bucket pacing: sleep off any rate debt, watching for
 		// an abort so a cancelled epoch is not held up by pacing.
-		if !math.IsInf(rate, 1) {
+		if shaped {
 			due := time.Duration(float64(sent) / rate * float64(time.Second))
 			elapsed := time.Since(start)
 			if due > elapsed {
@@ -202,7 +263,7 @@ func pump(w io.Writer, rate float64, deadline time.Time, budget *atomic.Int64, a
 					select {
 					case <-abort:
 						t.Stop()
-						return sent
+						return sent, true
 					case <-t.C:
 					}
 				}

@@ -262,6 +262,246 @@ func TestTunedTransferSurvivesInjectedFaults(t *testing.T) {
 	}
 }
 
+// trackDialer counts dials and can be switched to refuse everything;
+// it can also arm a die-after budget on the next dialed connections,
+// so a test can kill specific stripes mid-epoch.
+type trackDialer struct {
+	mu       sync.Mutex
+	n        int
+	refuse   bool
+	dieAfter map[int]int64 // dial number (1-based) -> byte budget
+}
+
+func (d *trackDialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	d.n++
+	n := d.n
+	refuse := d.refuse
+	budget, die := d.dieAfter[n]
+	d.mu.Unlock()
+	if refuse {
+		return nil, fmt.Errorf("trackDialer: injected refusal of dial %d: %w", n, syscall.ECONNREFUSED)
+	}
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil || !die {
+		return conn, err
+	}
+	return &dieAfterConn{Conn: conn, remaining: budget}, nil
+}
+
+func (d *trackDialer) dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+func (d *trackDialer) setRefuse(v bool) {
+	d.mu.Lock()
+	d.refuse = v
+	d.mu.Unlock()
+}
+
+// dieAfterConn fails writes with ECONNRESET once its byte budget is
+// spent — a single stripe dying mid-epoch.
+type dieAfterConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int64
+}
+
+func (c *dieAfterConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return 0, fmt.Errorf("dieAfterConn: %w", syscall.ECONNRESET)
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.Conn.Write(p)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+func TestWarmPoolSteadyStateZeroDials(t *testing.T) {
+	// First epoch: one control dial plus one per data connection.
+	// Every following epoch with unchanged params: zero dials, full
+	// stripe reuse.
+	s := startServer(t)
+	d := &trackDialer{}
+	c, err := NewClient(ClientConfig{Addr: s.Addr(), Bytes: xfer.Unbounded, Dialer: d.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for ep := 0; ep < 3; ep++ {
+		r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDials, wantReused := 0, 2
+		if ep == 0 {
+			wantDials, wantReused = 3, 0 // control + 2 data
+		}
+		if r.Dials != wantDials || r.ReusedStreams != wantReused {
+			t.Fatalf("epoch %d: Dials=%d ReusedStreams=%d, want %d/%d",
+				ep, r.Dials, r.ReusedStreams, wantDials, wantReused)
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("epoch %d moved no bytes", ep)
+		}
+	}
+	if d.dials() != 3 {
+		t.Fatalf("dialer saw %d dials across 3 epochs, want 3", d.dials())
+	}
+}
+
+func TestWarmPoolDeltaDialing(t *testing.T) {
+	// A +1 nc step dials exactly the missing stripe; a -1 step retires
+	// one and dials nothing.
+	s := startServer(t)
+	d := &trackDialer{}
+	c, err := NewClient(ClientConfig{Addr: s.Addr(), Bytes: xfer.Unbounded, Dialer: d.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if _, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(context.Background(), xfer.Params{NC: 3, NP: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dials != 1 || r.ReusedStreams != 2 {
+		t.Fatalf("+1 step: Dials=%d ReusedStreams=%d, want 1/2", r.Dials, r.ReusedStreams)
+	}
+	r, err = c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dials != 0 || r.ReusedStreams != 2 {
+		t.Fatalf("-1 step: Dials=%d ReusedStreams=%d, want 0/2", r.Dials, r.ReusedStreams)
+	}
+}
+
+func TestResetEvictsOnlyDeadStripes(t *testing.T) {
+	// Kill exactly one of four stripes mid-epoch; the next epoch must
+	// reuse the three survivors and re-dial exactly the evicted one.
+	s := startServer(t)
+	// Dial 1 is control, dials 2-5 are the four data connections; dial
+	// 4 dies after 256 KiB.
+	d := &trackDialer{dieAfter: map[int]int64{4: 256 << 10}}
+	c, err := NewClient(ClientConfig{Addr: s.Addr(), Bytes: xfer.Unbounded, Dialer: d.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	r, err := c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.1)
+	if err != nil {
+		t.Fatalf("epoch with one dying stripe failed: %v", err)
+	}
+	if r.Bytes <= 0 {
+		t.Fatal("epoch moved no bytes")
+	}
+	r, err = c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dials != 1 || r.ReusedStreams != 3 {
+		t.Fatalf("after eviction: Dials=%d ReusedStreams=%d, want 1/3", r.Dials, r.ReusedStreams)
+	}
+}
+
+func TestWarmPoolMinStreamsDegradation(t *testing.T) {
+	// A warm pool of two with all further dials refused: nc=4 with
+	// MinStreams=2 runs degraded on the reused pair; MinStreams=3
+	// fails transiently but keeps the pool, so recovery is a delta
+	// dial, not a cold restart.
+	for _, tc := range []struct {
+		minStreams int
+		wantErr    bool
+	}{
+		{minStreams: 2, wantErr: false},
+		{minStreams: 3, wantErr: true},
+	} {
+		s := startServer(t)
+		// Dial 1 is control, dials 2-5 the four data connections; two
+		// of them die mid-epoch, leaving a warm pool of two.
+		d := &trackDialer{dieAfter: map[int]int64{4: 128 << 10, 5: 128 << 10}}
+		c, err := NewClient(ClientConfig{
+			Addr:       s.Addr(),
+			Bytes:      xfer.Unbounded,
+			Dialer:     d.Dial,
+			Retry:      RetryConfig{Attempts: -1},
+			MinStreams: tc.minStreams,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		d.setRefuse(true)
+		r, err := c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.05)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("MinStreams=%d: epoch below the floor succeeded", tc.minStreams)
+			}
+			if !xfer.IsTransient(err) {
+				t.Fatalf("MinStreams=%d: error not transient: %v", tc.minStreams, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("MinStreams=%d: degraded warm epoch failed: %v", tc.minStreams, err)
+			}
+			if r.ReusedStreams != 2 || r.DegradedStreams != 2 {
+				t.Fatalf("MinStreams=%d: ReusedStreams=%d DegradedStreams=%d, want 2/2",
+					tc.minStreams, r.ReusedStreams, r.DegradedStreams)
+			}
+		}
+		// The degradation is transient either way: once dials succeed
+		// again, the next epoch reuses the surviving pair and dials
+		// only the missing delta.
+		d.setRefuse(false)
+		r, err = c.Run(context.Background(), xfer.Params{NC: 4, NP: 1}, 0.05)
+		if err != nil {
+			t.Fatalf("MinStreams=%d: recovery epoch failed: %v", tc.minStreams, err)
+		}
+		if r.ReusedStreams != 2 || r.Dials != 2 || r.DegradedStreams != 0 {
+			t.Fatalf("MinStreams=%d: recovery ReusedStreams=%d Dials=%d Degraded=%d, want 2/2/0",
+				tc.minStreams, r.ReusedStreams, r.Dials, r.DegradedStreams)
+		}
+		c.Stop()
+	}
+}
+
+func TestColdStartDialsEveryEpoch(t *testing.T) {
+	// ColdStart restores the paper's restart behavior: each epoch
+	// re-dials the full stripe and reuses nothing.
+	s := startServer(t)
+	d := &trackDialer{}
+	c, err := NewClient(ClientConfig{Addr: s.Addr(), Bytes: xfer.Unbounded, Dialer: d.Dial, ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for ep := 0; ep < 2; ep++ {
+		r, err := c.Run(context.Background(), xfer.Params{NC: 2, NP: 1}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDials := 2 // the control connection stays persistent
+		if ep == 0 {
+			wantDials = 3
+		}
+		if r.Dials != wantDials || r.ReusedStreams != 0 {
+			t.Fatalf("cold epoch %d: Dials=%d ReusedStreams=%d, want %d/0",
+				ep, r.Dials, r.ReusedStreams, wantDials)
+		}
+	}
+}
+
 func TestServerCloseUnderConcurrentConnects(t *testing.T) {
 	// Regression for the shutdown race: Close used to sweep s.conns
 	// while just-accepted connections were not yet tracked, leaving

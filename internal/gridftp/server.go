@@ -39,6 +39,7 @@ type Server struct {
 	done   chan struct{}
 
 	tokenTTL atomic.Int64 // nanoseconds; <= 0 disables expiry
+	sockBuf  atomic.Int64 // kernel socket buffer bytes; <= 0 keeps OS default
 
 	mu       sync.Mutex
 	received map[string]*tokenCounter
@@ -86,6 +87,27 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 // SetTokenTTL sets the idle expiry for token counters; non-positive
 // disables expiry. The default is 5 minutes.
 func (s *Server) SetTokenTTL(d time.Duration) { s.tokenTTL.Store(int64(d)) }
+
+// SetSockBuf sizes the kernel socket buffers
+// (SetReadBuffer/SetWriteBuffer) of subsequently accepted
+// connections, in bytes; non-positive keeps the OS default. Wrapped
+// listeners whose connections do not expose the setters are left
+// alone.
+func (s *Server) SetSockBuf(bytes int) { s.sockBuf.Store(int64(bytes)) }
+
+// applySockBuf applies the configured socket buffer size to conn.
+func (s *Server) applySockBuf(conn net.Conn) {
+	n := int(s.sockBuf.Load())
+	if n <= 0 {
+		return
+	}
+	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
+		rb.SetReadBuffer(n)
+	}
+	if wb, ok := conn.(interface{ SetWriteBuffer(int) error }); ok {
+		wb.SetWriteBuffer(n)
+	}
+}
 
 // Addr returns the server's listen address, for clients to dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -207,6 +229,7 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		s.applySockBuf(conn)
 		untrack := s.track(conn)
 		s.wg.Add(1)
 		go func() {
@@ -242,18 +265,30 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.serveData(br, fields[1])
-	case "START", "STAT", "CLOSE":
+	case "START", "ADJ", "STAT", "CLOSE":
 		s.serveControl(conn, br, fields)
 	default:
 		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
 	}
 }
 
+// dataBufPool recycles the receive buffers of data connections, so a
+// server churning through striped epochs does not allocate chunkSize
+// per accepted stream.
+var dataBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, chunkSize)
+		return &buf
+	},
+}
+
 // serveData discards the connection's byte stream into the token's
 // counter. The buffered reader may already hold payload bytes.
 func (s *Server) serveData(br *bufio.Reader, token string) {
 	tc := s.counter(token)
-	buf := make([]byte, chunkSize)
+	bufp := dataBufPool.Get().(*[]byte)
+	defer dataBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		n, err := br.Read(buf)
 		tc.n.Add(int64(n))
@@ -270,19 +305,20 @@ func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
 	fields := first
 	for {
 		switch fields[0] {
-		case "START":
-			// START <token> <channels>: acknowledge. The server is
-			// stateless about channel counts; the argument is
-			// validated for protocol hygiene.
+		case "START", "ADJ":
+			// START <token> <channels> opens a session; ADJ re-arms a
+			// warm epoch (possibly with a new channel count) without a
+			// fresh handshake. The server is stateless about channel
+			// counts; the argument is validated for protocol hygiene.
 			if len(fields) != 3 {
-				fmt.Fprintf(conn, "ERR bad START\n")
+				fmt.Fprintf(conn, "ERR bad %s\n", fields[0])
 				return
 			}
 			if _, err := strconv.Atoi(fields[2]); err != nil {
 				fmt.Fprintf(conn, "ERR bad channel count\n")
 				return
 			}
-			s.counter(fields[1]) // pre-create
+			s.counter(fields[1]) // pre-create (START) or touch (ADJ)
 			fmt.Fprintf(conn, "OK\n")
 		case "STAT":
 			if len(fields) != 2 {

@@ -15,9 +15,12 @@ import (
 // differs from each transfer greedily maximizing its own share.
 type sharedFake struct {
 	mu       sync.Mutex
+	posted   *sync.Cond
 	capacity float64
 	quad     float64
 	demand   [2]float64 // per-transfer current demand (streams)
+	arrived  int        // members that posted their demand this round
+	departed int        // members that read the round's total
 }
 
 // member returns the transfer i view of the pool.
@@ -39,12 +42,30 @@ func (m *sharedMember) Run(ctx context.Context, p xfer.Params, epoch float64) (x
 	}
 	s := m.pool
 	s.mu.Lock()
+	if s.posted == nil {
+		s.posted = sync.NewCond(&s.mu)
+	}
 	s.demand[m.idx] = float64(p.Streams())
+	// Round barrier: the fleet runs both members' epochs concurrently,
+	// so wait until both demands for this round are posted before
+	// reading the total — otherwise the measured throughput depends on
+	// goroutine scheduling order.
+	s.arrived++
+	if s.arrived == 2 {
+		s.posted.Broadcast()
+	}
+	for s.arrived < 2 {
+		s.posted.Wait()
+	}
 	total := s.demand[0] + s.demand[1]
 	eff := 1 / (1 + s.quad*total*total)
 	tput := 0.0
 	if total > 0 {
 		tput = s.capacity * eff * s.demand[m.idx] / total
+	}
+	s.departed++
+	if s.departed == 2 {
+		s.arrived, s.departed = 0, 0
 	}
 	s.mu.Unlock()
 	start := m.now

@@ -96,6 +96,16 @@ type Report struct {
 	// Retries counts the connection attempts beyond the first that the
 	// epoch needed (real-socket transfers only).
 	Retries int
+	// Dials counts the network dials the epoch performed, successful or
+	// not, across both control and data connections — the cold fraction
+	// of the epoch's setup. A warm steady-state epoch over a persistent
+	// stripe pool performs zero (real-socket transfers only; omitted
+	// from serialized reports when zero).
+	Dials int `json:",omitempty"`
+	// ReusedStreams counts data connections reused from the warm stripe
+	// pool rather than dialed this epoch (real-socket transfers only;
+	// omitted from serialized reports when zero).
+	ReusedStreams int `json:",omitempty"`
 	// Run is the 1-based sequence number of the Run call that produced
 	// this report within the transferer's current session — a restart
 	// diagnostic for real-socket transfers; zero when unreported.
