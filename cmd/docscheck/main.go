@@ -1,0 +1,56 @@
+// Command docscheck runs the repository's documentation lints and
+// exits non-zero when any fail, for the CI docs job:
+//
+//	docscheck [-root DIR] [PKG_DIR ...]
+//
+// It checks every intra-repo markdown link under -root (default ".")
+// and the godoc coverage of each listed package directory (default:
+// the public surface — the dstune facade, internal/tuner,
+// internal/xfer, internal/gridftp, internal/obs). Findings print one
+// per line as file:line: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dstune/internal/docs"
+)
+
+// defaultPackages is the documented public surface checked when no
+// package directories are given.
+var defaultPackages = []string{".", "internal/tuner", "internal/xfer", "internal/gridftp", "internal/obs"}
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan for markdown files")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPackages
+	}
+
+	failed := false
+	links, err := docs.CheckLinks(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range links {
+		fmt.Println(p)
+		failed = true
+	}
+	exports, err := docs.CheckExports(pkgs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range exports {
+		fmt.Println(p)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"dstune"
 )
@@ -77,8 +78,12 @@ type fleetSessionSpec struct {
 }
 
 // runFleet loads a fleet spec and drives all its sessions from one
-// scheduler, printing each session's trace and summary.
-func runFleet(path string) error {
+// scheduler, printing each session's trace and summary. A non-nil
+// observer watches every session (metrics labeled by session ID, live
+// /status); a non-empty checkpointPath makes each session write its
+// durable state to a per-session file derived from it (see
+// sessionCheckpointPath).
+func runFleet(path string, observer *dstune.Observer, checkpointPath string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -121,10 +126,19 @@ func runFleet(path string) error {
 	}
 
 	sessions := make([]dstune.FleetSession, 0, len(spec.Sessions))
+	usedIDs := make(map[string]bool, len(spec.Sessions))
 	for i, ss := range spec.Sessions {
 		if ss.Name == "" {
 			ss.Name = ss.Tuner
 		}
+		// Resolve the stable session ID here (the same defaulting and
+		// deduplication the Fleet applies) so checkpoint filenames can
+		// carry it.
+		id := ss.Name
+		for n := 2; usedIDs[id]; n++ {
+			id = fmt.Sprintf("%s-%d", ss.Name, n)
+		}
+		usedIDs[id] = true
 		if ss.NP == 0 {
 			ss.NP = 8
 		}
@@ -176,13 +190,18 @@ func runFleet(path string) error {
 		}
 
 		session := dstune.FleetSession{
+			ID:        id,
 			Name:      ss.Name,
 			Strategy:  strat,
 			Transfers: []dstune.Transferer{transfer},
 			Maps:      []dstune.ParamMap{cfg.Map},
+			Seed:      cfg.Seed,
 		}
 		if ss.Weight != 0 {
 			session.Weights = []float64{ss.Weight}
+		}
+		if checkpointPath != "" {
+			session.Checkpoint = dstune.NewFileCheckpoint(sessionCheckpointPath(checkpointPath, id))
 		}
 		sessions = append(sessions, session)
 	}
@@ -191,6 +210,7 @@ func runFleet(path string) error {
 		Epoch:                spec.Epoch,
 		Budget:               spec.Budget,
 		MaxTransientFailures: spec.MaxTransient,
+		Obs:                  observer,
 	}, sessions...)
 	results, err := fleet.Run(context.Background())
 	if err != nil {
@@ -198,16 +218,25 @@ func runFleet(path string) error {
 	}
 	failed := false
 	for _, r := range results {
-		fmt.Printf("=== session %s ===\n", r.Name)
+		fmt.Printf("=== session %s ===\n", r.ID)
 		printTrace(r.Traces[0])
 		fmt.Printf("bytes moved: %.0f\n\n", r.Bytes)
 		if r.Err != nil {
 			failed = true
-			log.Printf("session %s failed: %v", r.Name, r.Err)
+			log.Printf("session %s failed: %v", r.ID, r.Err)
 		}
 	}
 	if failed {
 		return fmt.Errorf("one or more fleet sessions failed")
 	}
 	return nil
+}
+
+// sessionCheckpointPath derives a per-session checkpoint filename from
+// the shared -checkpoint path by splicing the session ID in before the
+// extension: run.ck + "bulk" -> run-bulk.ck. Extensionless paths get a
+// plain suffix: run + "bulk" -> run-bulk.
+func sessionCheckpointPath(path, id string) string {
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "-" + id + ext
 }

@@ -65,6 +65,8 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "write a checkpoint to this file after every epoch")
 	resumePath := flag.String("resume", "", "resume a checkpointed run from this file (socket mode)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole run; 0 = none")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /status, /debug/vars, /debug/pprof) on this address, e.g. 127.0.0.1:9310")
+	obsTrace := flag.String("obs-trace", "", "append every structured event to this file as JSON lines")
 
 	// Simulation-mode flags.
 	testbed := flag.String("testbed", "uchicago", "uchicago or tacc")
@@ -94,8 +96,14 @@ func main() {
 	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
 	flag.Parse()
 
+	observer, obsClose, err := newObserver(*obsAddr, *obsTrace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsClose()
+
 	if *fleetPath != "" {
-		if err := runFleet(*fleetPath); err != nil {
+		if err := runFleet(*fleetPath, observer, *checkpointPath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -124,7 +132,6 @@ func main() {
 	}
 
 	var transfer dstune.Transferer
-	var err error
 	disk := false
 	switch *mode {
 	case "sim":
@@ -170,6 +177,7 @@ func main() {
 			Seed:       *seed,
 			SockBuf:    *sockBuf,
 			ColdStart:  *cold,
+			Obs:        observer.Session(*name),
 		}
 		if resume != nil {
 			if resume.Transfer.Total >= 0 {
@@ -221,6 +229,7 @@ func main() {
 		MaxTransientFailures: *maxTransient,
 		Resume:               resume,
 		Drain:                drain,
+		Obs:                  observer.Session(*name),
 	}
 	if *checkpointPath != "" {
 		cfg.Checkpoint = dstune.NewFileCheckpoint(*checkpointPath)
@@ -266,6 +275,50 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
+}
+
+// newObserver builds the run's observation plane from the -obs-addr
+// and -obs-trace flags: nil (zero-cost no-op) when both are empty,
+// otherwise an Observer optionally serving the introspection endpoint
+// and mirroring events to a JSONL trace file. The returned close
+// flushes the trace and stops the endpoint.
+func newObserver(addr, tracePath string) (*dstune.Observer, func(), error) {
+	if addr == "" && tracePath == "" {
+		return nil, func() {}, nil
+	}
+	var sink *os.File
+	if tracePath != "" {
+		f, err := os.OpenFile(tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		sink = f
+	}
+	cfg := dstune.ObserverConfig{}
+	if sink != nil {
+		cfg.EventSink = sink
+	}
+	observer := dstune.NewObserver(cfg)
+	var endpoint *dstune.ObsEndpoint
+	if addr != "" {
+		ep, err := observer.Serve(addr)
+		if err != nil {
+			if sink != nil {
+				sink.Close()
+			}
+			return nil, nil, err
+		}
+		endpoint = ep
+		log.Printf("observation plane on http://%s (/metrics /status /debug/vars /debug/pprof)", ep.Addr())
+	}
+	return observer, func() {
+		if endpoint != nil {
+			endpoint.Close()
+		}
+		if sink != nil {
+			sink.Close()
+		}
+	}, nil
 }
 
 // simTransfer builds a simulated transfer on the named testbed;

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gridftpd [-addr :7632] [-token-ttl 5m] [-sockbuf N] [-v]
+//	gridftpd [-addr :7632] [-token-ttl 5m] [-sockbuf N] [-obs-addr :9632] [-v]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	addr := flag.String("addr", ":7632", "listen address")
 	tokenTTL := flag.Duration("token-ttl", 5*time.Minute, "idle expiry for per-transfer byte counters; 0 disables")
 	sockBuf := flag.Int("sockbuf", 0, "kernel socket buffer bytes for accepted connections; 0 = OS default")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /status, /debug/vars, and /debug/pprof on this address; empty disables")
 	verbose := flag.Bool("v", false, "log connection errors")
 	flag.Parse()
 
@@ -34,6 +35,16 @@ func main() {
 	}
 	srv.SetTokenTTL(*tokenTTL)
 	srv.SetSockBuf(*sockBuf)
+	if *obsAddr != "" {
+		observer := dstune.NewObserver(dstune.ObserverConfig{})
+		srv.SetObserver(observer)
+		ep, err := observer.Serve(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ep.Close()
+		log.Printf("observation plane on http://%s (/metrics /status /debug/vars /debug/pprof)", ep.Addr())
+	}
 	if *verbose {
 		srv.SetLogger(log.Printf)
 	}

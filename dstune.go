@@ -62,6 +62,7 @@ import (
 	"dstune/internal/gridftp"
 	"dstune/internal/load"
 	"dstune/internal/netem"
+	"dstune/internal/obs"
 	"dstune/internal/report"
 	"dstune/internal/sim"
 	"dstune/internal/trace"
@@ -433,6 +434,43 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return tuner.LoadCheckpo
 // completed, the final checkpoint was written, and the transfer was
 // left running so a later session can resume it.
 var ErrInterrupted = tuner.ErrInterrupted
+
+// Observability: the observation plane documented in OBSERVABILITY.md.
+type (
+	// Observer is the top-level observation handle: a metrics
+	// registry, a structured event recorder, and the per-session views
+	// behind the /status endpoint. Assign Observer.Session(id) to
+	// TunerConfig.Obs / TransferClientConfig.Obs, or the Observer
+	// itself to FleetConfig.Obs / FaultConfig.Obs.
+	Observer = obs.Observer
+	// ObserverConfig configures NewObserver: the event ring capacity
+	// and an optional JSONL trace sink.
+	ObserverConfig = obs.ObserverConfig
+	// SessionObs is one session's observation view, created by
+	// Observer.Session.
+	SessionObs = obs.SessionObs
+	// MetricsRegistry holds metric families and renders Prometheus
+	// text exposition.
+	MetricsRegistry = obs.Registry
+	// EventRecorder buffers structured events and mirrors them to a
+	// JSONL sink.
+	EventRecorder = obs.Recorder
+	// Event is one structured trace record.
+	Event = obs.Event
+	// EventType names one kind of structured event.
+	EventType = obs.EventType
+	// ObsEndpoint is a live introspection server started by
+	// Observer.Serve, exposing /metrics, /status, /debug/vars, and
+	// /debug/pprof.
+	ObsEndpoint = obs.Endpoint
+	// SessionStatus is one session's live state in the /status
+	// document.
+	SessionStatus = obs.SessionStatus
+)
+
+// NewObserver returns an observation handle; thread it through the
+// configs above and expose it with Observer.Serve.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.NewObserver(cfg) }
 
 // Experiments (the paper's evaluation).
 type (

@@ -1,0 +1,225 @@
+// Package docs implements the repository's documentation lints, run
+// both as an in-repo test and by the CI docs job (via cmd/docscheck):
+//
+//   - CheckLinks walks the repo's markdown files and reports
+//     intra-repo links whose targets do not exist;
+//   - CheckExports parses Go packages and reports exported
+//     identifiers that carry no doc comment, plus packages with no
+//     package comment.
+//
+// Both return findings as plain strings ("file:line: message") so
+// callers can print or assert on them without any extra structure.
+package docs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are not used in this repo.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// CheckLinks walks root for .md files (skipping .git and testdata)
+// and reports links to intra-repo targets that do not exist. External
+// links (with a URL scheme) and pure-anchor links are not checked;
+// anchor fragments on file links are stripped before the existence
+// check.
+func CheckLinks(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexAny(target, "#?"); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					rel, rerr := filepath.Rel(root, path)
+					if rerr != nil {
+						rel = path
+					}
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", rel, i+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// CheckExports parses the Go package in each dir (tests excluded) and
+// reports exported identifiers without a doc comment: package-level
+// functions, types, constants, variables, methods on exported types,
+// and exported fields of exported structs. A const/var/type block's
+// doc comment covers all its specs. Each package must also carry a
+// package comment on at least one file.
+func CheckExports(dirs ...string) ([]string, error) {
+	var problems []string
+	for _, dir := range dirs {
+		p, err := checkPackage(dir)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, p...)
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkPackage lints one package directory.
+func checkPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			problems = append(problems, checkFile(fset, f)...)
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	return problems, nil
+}
+
+// checkFile lints one parsed file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported %s %s is undocumented", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+	return problems
+}
+
+// checkGenDecl lints one type/const/var declaration. A doc comment on
+// the decl block covers every spec inside it.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	covered := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !covered && s.Doc == nil {
+				report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				checkFields(s.Name.Name, st, report)
+			}
+		case *ast.ValueSpec:
+			if covered || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s is undocumented", strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields lints the exported fields of an exported struct type.
+func checkFields(typeName string, st *ast.StructType, report func(token.Pos, string, ...any)) {
+	for _, field := range st.Fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				report(name.Pos(), "exported field %s.%s is undocumented", typeName, name.Name)
+			}
+		}
+	}
+}
+
+// receiverExported reports whether d is a plain function or a method
+// whose receiver type is exported — methods on unexported types are
+// invisible in godoc and exempt.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcKind names a FuncDecl for messages: "function" or "method".
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

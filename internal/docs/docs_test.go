@@ -1,0 +1,153 @@
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckLinks exercises the link checker on a synthetic tree: good
+// relative links, anchors, and external URLs pass; dangling targets
+// are reported with file and line.
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "docs")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(dir, "README.md"), strings.Join([]string{
+		"[good](docs/GUIDE.md)",
+		"[anchor](docs/GUIDE.md#setup)",
+		"[external](https://example.com/nope.md) [mail](mailto:x@y.z) [self](#top)",
+		"[broken](docs/MISSING.md)",
+	}, "\n"))
+	write(filepath.Join(sub, "GUIDE.md"), "[up](../README.md)\n[bad](./gone.md)\n")
+
+	problems, err := CheckLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`README.md:4: broken link "docs/MISSING.md"`,
+		filepath.Join("docs", "GUIDE.md") + `:2: broken link "./gone.md"`,
+	}
+	if len(problems) != len(want) {
+		t.Fatalf("got %d problems %q, want %d", len(problems), problems, len(want))
+	}
+	for i := range want {
+		if problems[i] != want[i] {
+			t.Errorf("problem %d = %q, want %q", i, problems[i], want[i])
+		}
+	}
+}
+
+// TestCheckExports exercises the godoc lint on a synthetic package:
+// documented and unexported identifiers pass; undocumented exported
+// functions, types, consts, fields, methods on exported types, and a
+// missing package comment are reported.
+func TestCheckExports(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+func unexported() {}
+
+// Box is fine; its undocumented exported field is not.
+type Box struct {
+	Lid   int
+	inner int
+}
+
+type Naked struct{}
+
+// Grouped consts: the block doc covers both.
+const (
+	A = 1
+	B = 2
+)
+
+const Loose = 3
+
+// Method docs: Documented method fine, undocumented reported,
+// methods on unexported receivers exempt.
+func (Box) Sealed() {}
+
+func (b Box) Open() {}
+
+func (x hidden) Exported() {}
+
+type hidden struct{}
+`
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckExports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"package demo has no package comment",
+		"exported function Undocumented is undocumented",
+		"exported field Box.Lid is undocumented",
+		"exported type Naked is undocumented",
+		"exported const Loose is undocumented",
+		"exported method Open is undocumented",
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding containing %q in %q", sub, problems)
+		}
+	}
+	if len(problems) != len(wantSubstrings) {
+		t.Errorf("got %d problems %q, want %d", len(problems), problems, len(wantSubstrings))
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "Sealed") || strings.Contains(p, "hidden") || strings.Contains(p, "Exported") {
+			t.Errorf("unexpected finding %q", p)
+		}
+	}
+}
+
+// TestRepoDocs is the in-repo enforcement: the repository's own
+// markdown links must resolve and its public packages must be fully
+// documented. CI runs the same checks via cmd/docscheck.
+func TestRepoDocs(t *testing.T) {
+	root := filepath.Join("..", "..")
+	links, err := CheckLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range links {
+		t.Errorf("broken markdown link: %s", p)
+	}
+	pkgs := []string{".", "internal/tuner", "internal/xfer", "internal/gridftp", "internal/obs"}
+	var dirs []string
+	for _, p := range pkgs {
+		dirs = append(dirs, filepath.Join(root, p))
+	}
+	exports, err := CheckExports(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range exports {
+		t.Errorf("undocumented export: %s", p)
+	}
+}

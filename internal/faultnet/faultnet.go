@@ -24,6 +24,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"dstune/internal/obs"
 )
 
 // Config selects the faults an Injector produces.
@@ -47,6 +49,10 @@ type Config struct {
 	// outside the injector's lock, from the goroutine whose read or
 	// write tripped the reset.
 	OnReset func(total int)
+	// Obs, when non-nil, receives a FaultInjected event and a
+	// dstune_faults_injected_total increment for every injected dial
+	// refusal and reset. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // Injector produces faulty dials and listeners according to a Config.
@@ -78,13 +84,14 @@ func (in *Injector) refuse() bool {
 	return false
 }
 
-// noteReset records one injected connection reset and fires the
-// configured eviction hook.
-func (in *Injector) noteReset() {
+// noteReset records one injected connection reset against addr and
+// fires the configured eviction hook.
+func (in *Injector) noteReset(addr string) {
 	in.mu.Lock()
 	in.resets++
 	total := in.resets
 	in.mu.Unlock()
+	in.cfg.Obs.FaultInjected(obs.FaultReset, addr)
 	if in.cfg.OnReset != nil {
 		in.cfg.OnReset(total)
 	}
@@ -104,6 +111,7 @@ func (in *Injector) Resets() int { in.mu.Lock(); defer in.mu.Unlock(); return in
 // syscall.ECONNREFUSED without touching the network.
 func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
 	if in.refuse() {
+		in.cfg.Obs.FaultInjected(obs.FaultDialRefusal, addr)
 		return nil, fmt.Errorf("faultnet: injected dial refusal to %s: %w", addr, syscall.ECONNREFUSED)
 	}
 	if in.cfg.Latency > 0 {
@@ -147,6 +155,7 @@ func (l *listener) Accept() (net.Conn, error) {
 			return nil, err
 		}
 		if l.in.refuse() {
+			l.in.cfg.Obs.FaultInjected(obs.FaultDialRefusal, conn.RemoteAddr().String())
 			abort(conn)
 			continue
 		}
@@ -178,7 +187,7 @@ func (c *resetConn) spend(n int) bool {
 	c.budget -= int64(n)
 	if c.budget <= 0 {
 		c.reset = true
-		c.in.noteReset()
+		c.in.noteReset(c.Conn.RemoteAddr().String())
 		abort(c.Conn)
 		return false
 	}

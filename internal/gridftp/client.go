@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dstune/internal/obs"
 	"dstune/internal/xfer"
 )
 
@@ -96,6 +97,13 @@ type ClientConfig struct {
 	// and the control connection alive across epochs, so a
 	// steady-state epoch performs zero dials.
 	ColdStart bool
+	// Obs, when non-nil, receives the client's fine-grained data-plane
+	// events (StripeDialed, StripeEvicted) and keeps the warm-pool
+	// gauge current. Per-epoch aggregates (dials, retries, throughput)
+	// are recorded by the tuning Driver from the epoch Report, not
+	// here, so the two layers never double-count. Nil disables
+	// observation; the pump path is never instrumented either way.
+	Obs *obs.SessionObs
 }
 
 // clientSeq disambiguates generated tokens within a process.
@@ -582,7 +590,10 @@ func (c *Client) storePool(conns []net.Conn) {
 		for _, conn := range conns {
 			conn.Close()
 		}
+		c.cfg.Obs.SetPool(0)
+		return
 	}
+	c.cfg.Obs.SetPool(len(conns))
 }
 
 // closePool tears down the warm stripe pool (ColdStart mode).
@@ -682,6 +693,7 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 			continue
 		}
 		pool = append(pool, conn)
+		c.cfg.Obs.StripeDialed(c.Now(), len(pool))
 	}
 	if len(pool) < c.cfg.MinStreams {
 		// The surviving stripes stay pooled: the next epoch re-dials
@@ -768,6 +780,9 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		for i, conn := range conns {
 			if deadIdx[i] {
 				conn.Close()
+				if c.cfg.Obs != nil {
+					c.cfg.Obs.StripeEvicted(c.Now(), fmt.Sprintf("stripe %d dead after pump", i))
+				}
 				continue
 			}
 			alive = append(alive, conn)

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dstune/internal/obs"
 )
 
 // maxLineLen bounds protocol header lines.
@@ -40,6 +42,10 @@ type Server struct {
 
 	tokenTTL atomic.Int64 // nanoseconds; <= 0 disables expiry
 	sockBuf  atomic.Int64 // kernel socket buffer bytes; <= 0 keeps OS default
+
+	// metrics holds the observation instruments; nil disables them.
+	// Atomic so SetObserver is safe while traffic is flowing.
+	metrics atomic.Pointer[obs.ServerMetrics]
 
 	mu       sync.Mutex
 	received map[string]*tokenCounter
@@ -87,6 +93,13 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 // SetTokenTTL sets the idle expiry for token counters; non-positive
 // disables expiry. The default is 5 minutes.
 func (s *Server) SetTokenTTL(d time.Duration) { s.tokenTTL.Store(int64(d)) }
+
+// SetObserver registers the server's metrics (connections, received
+// bytes, live and expired tokens) with o; see OBSERVABILITY.md. A nil
+// o detaches them. Safe to call while the server is live.
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.metrics.Store(o.ServerMetrics())
+}
 
 // SetSockBuf sizes the kernel socket buffers
 // (SetReadBuffer/SetWriteBuffer) of subsequently accepted
@@ -156,7 +169,9 @@ func (s *Server) counter(token string) *tokenCounter {
 		tc = new(tokenCounter)
 		s.received[token] = tc
 	}
+	live := len(s.received)
 	s.mu.Unlock()
+	s.metrics.Load().SetTokens(live)
 	tc.touch()
 	return tc
 }
@@ -165,7 +180,9 @@ func (s *Server) counter(token string) *tokenCounter {
 func (s *Server) dropToken(token string) {
 	s.mu.Lock()
 	delete(s.received, token)
+	live := len(s.received)
 	s.mu.Unlock()
+	s.metrics.Load().SetTokens(live)
 }
 
 // expireTokens drops counters idle for longer than the TTL.
@@ -175,13 +192,21 @@ func (s *Server) expireTokens(now time.Time) {
 		return
 	}
 	cutoff := now.Add(-ttl).UnixNano()
+	expired := 0
 	s.mu.Lock()
 	for tok, tc := range s.received {
 		if tc.lastActive.Load() < cutoff {
 			delete(s.received, tok)
+			expired++
 		}
 	}
+	live := len(s.received)
 	s.mu.Unlock()
+	if expired > 0 {
+		m := s.metrics.Load()
+		m.Expired(expired)
+		m.SetTokens(live)
+	}
 }
 
 // janitor periodically expires idle token counters until Close.
@@ -229,6 +254,7 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		s.metrics.Load().Conn()
 		s.applySockBuf(conn)
 		untrack := s.track(conn)
 		s.wg.Add(1)
@@ -286,12 +312,14 @@ var dataBufPool = sync.Pool{
 // counter. The buffered reader may already hold payload bytes.
 func (s *Server) serveData(br *bufio.Reader, token string) {
 	tc := s.counter(token)
+	m := s.metrics.Load()
 	bufp := dataBufPool.Get().(*[]byte)
 	defer dataBufPool.Put(bufp)
 	buf := *bufp
 	for {
 		n, err := br.Read(buf)
 		tc.n.Add(int64(n))
+		m.AddBytes(int64(n))
 		tc.touch()
 		if err != nil {
 			return

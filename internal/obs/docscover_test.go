@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObservabilityDocCoverage pins the documentation contract: every
+// metric family an Observer can register and every event type the
+// Recorder can emit must appear by name in OBSERVABILITY.md. A new
+// instrument without documentation fails here before it ships.
+func TestObservabilityDocCoverage(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	// Materialize every instrument: a full session lifecycle, server
+	// metrics, and a fault, so Registry().Names() lists the complete
+	// family set.
+	o := NewObserver(ObserverConfig{})
+	s := o.Session("doc")
+	s.SetStrategy("cs-tuner")
+	s.Propose(0, []int{2}, nil)
+	s.EpochStart(0, 0, []int{2})
+	s.EpochEnd(5, 0, []int{2}, EpochStats{Throughput: 1, Bytes: 5}, false, 2)
+	s.Observe(5, 0, 0)
+	s.Retrigger(5, 0.1)
+	s.CheckpointWritten(5, 1, 0.001)
+	s.StripeDialed(5, 1)
+	s.StripeEvicted(5, "x")
+	o.ServerMetrics().Conn()
+	o.ServerMetrics().AddBytes(1)
+	o.ServerMetrics().SetTokens(1)
+	o.ServerMetrics().Expired(1)
+	o.FaultInjected(FaultReset, "x")
+
+	for _, name := range o.Registry().Names() {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %q is not documented in OBSERVABILITY.md", name)
+		}
+	}
+	for _, et := range EventTypes() {
+		if !strings.Contains(text, string(et)) {
+			t.Errorf("event type %q is not documented in OBSERVABILITY.md", et)
+		}
+	}
+}

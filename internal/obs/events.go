@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventType names one kind of structured event in the trace stream.
+// Every type emitted by the stack is listed in EventTypes and
+// documented in OBSERVABILITY.md.
+type EventType string
+
+// The event vocabulary of the tuning stack.
+const (
+	// EventEpochStart marks the Driver handing a parameter vector to
+	// the data plane for one epoch.
+	EventEpochStart EventType = "EpochStart"
+	// EventEpochEnd carries the epoch's observed report: throughput,
+	// dead time, stream accounting, and whether the epoch failed
+	// transiently.
+	EventEpochEnd EventType = "EpochEnd"
+	// EventPropose records the strategy's next parameter vector and
+	// the delta from the previous proposal.
+	EventPropose EventType = "Propose"
+	// EventObserve records the fitness handed back to the strategy and
+	// its relative change against the previous observation.
+	EventObserve EventType = "Observe"
+	// EventStripeDialed marks a new data stripe connection being
+	// established by the warm data plane.
+	EventStripeDialed EventType = "StripeDialed"
+	// EventStripeEvicted marks a dead stripe being evicted from the
+	// warm pool.
+	EventStripeEvicted EventType = "StripeEvicted"
+	// EventRetriggerEpsilon marks an armed ε-monitor observing a
+	// relative throughput change beyond tolerance and restarting the
+	// search.
+	EventRetriggerEpsilon EventType = "RetriggerEpsilon"
+	// EventCheckpointWritten marks a durable checkpoint write after an
+	// epoch.
+	EventCheckpointWritten EventType = "CheckpointWritten"
+	// EventFaultInjected marks the faultnet fabric injecting a dial
+	// refusal or connection reset.
+	EventFaultInjected EventType = "FaultInjected"
+)
+
+// EventTypes lists every event type the stack can emit, in a stable
+// order. Documentation tests iterate it.
+func EventTypes() []EventType {
+	return []EventType{
+		EventEpochStart, EventEpochEnd, EventPropose, EventObserve,
+		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
+		EventCheckpointWritten, EventFaultInjected,
+	}
+}
+
+// Event is one structured trace record. Fields beyond Seq, T, and Type
+// are populated per type; unused fields are omitted from the JSONL
+// encoding. T is the transfer clock (seconds) — virtual time under the
+// Sim fabric — never wall time, so traces from deterministic fabrics
+// are bit-for-bit reproducible.
+type Event struct {
+	// Seq is the recorder-assigned monotonic sequence number.
+	Seq int64 `json:"seq"`
+	// T is the transfer-clock timestamp in seconds.
+	T float64 `json:"t"`
+	// Type discriminates the event.
+	Type EventType `json:"type"`
+	// Session is the owning session's stable ID, when the event is
+	// session-scoped.
+	Session string `json:"session,omitempty"`
+	// Epoch is the zero-based epoch index, for epoch-scoped events.
+	Epoch int `json:"epoch,omitempty"`
+	// X is the parameter vector in play.
+	X []int `json:"x,omitempty"`
+	// Prev is the previous parameter vector (Propose only).
+	Prev []int `json:"prev,omitempty"`
+	// Throughput is the observed mean throughput in bytes/second.
+	Throughput float64 `json:"throughput,omitempty"`
+	// BestCase is the dead-time-compensated throughput in
+	// bytes/second.
+	BestCase float64 `json:"best_case,omitempty"`
+	// Bytes is the payload volume moved this epoch.
+	Bytes float64 `json:"bytes,omitempty"`
+	// DeadTime is the epoch's non-transferring time in seconds.
+	DeadTime float64 `json:"dead_time,omitempty"`
+	// Dials counts new connections established.
+	Dials int `json:"dials,omitempty"`
+	// Reused counts warm streams reused from the pool.
+	Reused int `json:"reused,omitempty"`
+	// Retries counts transient-error retries.
+	Retries int `json:"retries,omitempty"`
+	// Degraded counts streams below the requested concurrency.
+	Degraded int `json:"degraded,omitempty"`
+	// Delta is the relative change driving Observe/RetriggerEpsilon,
+	// as a fraction (0.2 = 20%).
+	Delta float64 `json:"delta,omitempty"`
+	// Transient marks an EpochEnd synthesized from a transient
+	// failure.
+	Transient bool `json:"transient,omitempty"`
+	// Detail is free-form context: fault kind, stripe index, eviction
+	// reason.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder collects Events into a bounded ring buffer and optionally
+// mirrors each one as a JSON line to a sink. A nil *Recorder is a
+// valid no-op. Recorder is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	seq     int64
+	ring    []Event
+	next    int
+	wrapped bool
+	enc     *json.Encoder
+	sinkErr error
+}
+
+// DefaultEventBuffer is the ring capacity used when RecorderConfig
+// leaves Buffer zero.
+const DefaultEventBuffer = 4096
+
+// NewRecorder returns a Recorder holding the last buffer events
+// (DefaultEventBuffer when buffer <= 0). When sink is non-nil every
+// event is also appended to it as one JSON object per line; sink
+// errors are sticky and reported by Err, never propagated to
+// recording call sites.
+func NewRecorder(buffer int, sink io.Writer) *Recorder {
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	r := &Recorder{ring: make([]Event, buffer)}
+	if sink != nil {
+		r.enc = json.NewEncoder(sink)
+	}
+	return r
+}
+
+// Record assigns the event its sequence number, stores it in the ring,
+// and mirrors it to the JSONL sink when configured. No-op on a nil
+// receiver.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.seq
+	r.seq++
+	r.ring[r.next] = ev
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
+	}
+	if r.enc != nil && r.sinkErr == nil {
+		r.sinkErr = r.enc.Encode(ev)
+	}
+}
+
+// Events returns the buffered events oldest-first. On a nil receiver
+// it returns nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.ring[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Len reports how many events have been recorded in total (including
+// any that have been evicted from the ring).
+func (r *Recorder) Len() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Err returns the first error the JSONL sink reported, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}

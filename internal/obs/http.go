@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the introspection mux:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/status         JSON snapshot of every session's live state
+//	/debug/vars     expvar (includes the registry once published)
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// The root path serves a plain-text index of the above. Handler is
+// valid on a nil receiver (the endpoints serve empty documents).
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Status())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dstune observation plane\n\n/metrics\n/status\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Endpoint is a live introspection server started by Serve.
+type Endpoint struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the endpoint's bound address (useful with ":0").
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// Close shuts the endpoint's listener down.
+func (e *Endpoint) Close() error { return e.srv.Close() }
+
+// Serve binds addr (host:port; ":0" picks a free port), publishes the
+// registry to expvar, and serves Handler until Close. It returns
+// immediately; the accept loop runs on a background goroutine.
+func (o *Observer) Serve(addr string) (*Endpoint, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: Serve on nil Observer")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	o.Registry().PublishExpvar()
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Endpoint{ln: ln, srv: srv}, nil
+}

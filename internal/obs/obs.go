@@ -1,0 +1,559 @@
+package obs
+
+import (
+	"sync"
+)
+
+// ObserverConfig configures NewObserver.
+type ObserverConfig struct {
+	// EventBuffer is the Recorder ring capacity; DefaultEventBuffer
+	// when zero.
+	EventBuffer int
+	// EventSink, when non-nil, receives every event as one JSON line
+	// (a JSONL trace).
+	EventSink interface{ Write(p []byte) (int, error) }
+}
+
+// Observer is the top-level observation handle: one metrics Registry,
+// one event Recorder, and the set of per-session views feeding the
+// /status endpoint. A nil *Observer is a valid no-op, as are all
+// handles derived from it.
+type Observer struct {
+	reg *Registry
+	rec *Recorder
+
+	mu       sync.Mutex
+	sessions []*SessionObs
+	byID     map[string]*SessionObs
+}
+
+// NewObserver returns an Observer with a fresh registry and recorder.
+func NewObserver(cfg ObserverConfig) *Observer {
+	return &Observer{
+		reg:  NewRegistry(),
+		rec:  NewRecorder(cfg.EventBuffer, cfg.EventSink),
+		byID: make(map[string]*SessionObs),
+	}
+}
+
+// Registry returns the observer's metrics registry; nil on a nil
+// receiver.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Recorder returns the observer's event recorder; nil on a nil
+// receiver.
+func (o *Observer) Recorder() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// Event records a raw event. Most call sites should go through a
+// SessionObs method instead; Event exists for session-less emitters
+// such as faultnet. No-op on a nil receiver.
+func (o *Observer) Event(ev Event) {
+	if o == nil {
+		return
+	}
+	o.rec.Record(ev)
+}
+
+// Metric names emitted by the stack. Each is documented in
+// OBSERVABILITY.md; TestMetricsDocumented fails when one is missing.
+const (
+	// MetricEpochs counts completed control epochs per session.
+	MetricEpochs = "dstune_epochs_total"
+	// MetricThroughput is the last epoch's mean throughput (bytes/s).
+	MetricThroughput = "dstune_epoch_throughput_bytes_per_second"
+	// MetricBestCase is the last epoch's dead-time-compensated
+	// throughput (bytes/s).
+	MetricBestCase = "dstune_epoch_bestcase_bytes_per_second"
+	// MetricDeadTime is the per-epoch dead-time distribution
+	// (seconds).
+	MetricDeadTime = "dstune_epoch_dead_seconds"
+	// MetricBytes counts payload bytes acknowledged per session.
+	MetricBytes = "dstune_bytes_total"
+	// MetricParamNC is the current concurrency (nc) parameter.
+	MetricParamNC = "dstune_param_nc"
+	// MetricParamNP is the current parallelism (np) parameter.
+	MetricParamNP = "dstune_param_np"
+	// MetricDials counts new data connections established.
+	MetricDials = "dstune_dials_total"
+	// MetricReused counts warm streams reused instead of dialed.
+	MetricReused = "dstune_reused_streams_total"
+	// MetricRetries counts transient-error retries inside epochs.
+	MetricRetries = "dstune_retries_total"
+	// MetricDegraded counts stream-slots that ran below the requested
+	// concurrency.
+	MetricDegraded = "dstune_degraded_streams_total"
+	// MetricTransientEpochs counts epochs lost to transient failures.
+	MetricTransientEpochs = "dstune_transient_epochs_total"
+	// MetricTransientBudget is the remaining consecutive transient
+	// failures the session tolerates before giving up.
+	MetricTransientBudget = "dstune_transient_budget"
+	// MetricRetriggers counts ε-monitor search restarts.
+	MetricRetriggers = "dstune_retriggers_total"
+	// MetricCheckpointWrites counts durable checkpoint writes.
+	MetricCheckpointWrites = "dstune_checkpoint_writes_total"
+	// MetricCheckpointSeconds is the checkpoint write-latency
+	// distribution (wall seconds).
+	MetricCheckpointSeconds = "dstune_checkpoint_write_seconds"
+	// MetricWarmPool is the number of idle warm streams pooled between
+	// epochs.
+	MetricWarmPool = "dstune_warm_pool_streams"
+	// MetricStripeEvictions counts dead stripes evicted from the warm
+	// pool.
+	MetricStripeEvictions = "dstune_stripe_evictions_total"
+	// MetricFaults counts injected faults by kind.
+	MetricFaults = "dstune_faults_injected_total"
+	// MetricServerConns counts control/data connections accepted by
+	// gridftpd.
+	MetricServerConns = "gridftpd_connections_total"
+	// MetricServerBytes counts payload bytes received by gridftpd.
+	MetricServerBytes = "gridftpd_bytes_received_total"
+	// MetricServerTokens is the number of live transfer tokens on
+	// gridftpd.
+	MetricServerTokens = "gridftpd_tokens"
+	// MetricServerExpired counts transfer tokens expired by the
+	// gridftpd janitor.
+	MetricServerExpired = "gridftpd_expired_tokens_total"
+)
+
+// EpochStats is the per-epoch observation a SessionObs ingests. It
+// mirrors the authoritative xfer.Report fields without importing xfer,
+// keeping obs dependency-free.
+type EpochStats struct {
+	// Throughput is mean payload throughput over the epoch (bytes/s).
+	Throughput float64
+	// BestCase is throughput with dead time excluded (bytes/s).
+	BestCase float64
+	// Bytes is the payload volume acknowledged this epoch.
+	Bytes float64
+	// DeadTime is non-transferring time within the epoch (seconds).
+	DeadTime float64
+	// Dials counts connections established this epoch.
+	Dials int
+	// ReusedStreams counts warm streams reused this epoch.
+	ReusedStreams int
+	// Retries counts transient-error retries this epoch.
+	Retries int
+	// DegradedStreams counts stream-slots below requested concurrency.
+	DegradedStreams int
+}
+
+// SessionStatus is one session's live state as served by /status.
+type SessionStatus struct {
+	// ID is the session's stable identifier.
+	ID string `json:"id"`
+	// Strategy is the tuning strategy name.
+	Strategy string `json:"strategy,omitempty"`
+	// Epochs is the number of completed epochs.
+	Epochs int `json:"epochs"`
+	// X is the parameter vector currently in play.
+	X []int `json:"x,omitempty"`
+	// Throughput is the last observed mean throughput (bytes/s).
+	Throughput float64 `json:"throughput"`
+	// BestCase is the last dead-time-compensated throughput (bytes/s).
+	BestCase float64 `json:"best_case"`
+	// Bytes is the cumulative payload volume (bytes).
+	Bytes float64 `json:"bytes"`
+	// DeadTime is the last epoch's dead time (seconds).
+	DeadTime float64 `json:"dead_seconds"`
+	// Dials is the cumulative count of connections established.
+	Dials int `json:"dials"`
+	// ReusedStreams is the cumulative count of warm streams reused.
+	ReusedStreams int `json:"reused_streams"`
+	// Retries is the cumulative transient-retry count.
+	Retries int `json:"retries"`
+	// DegradedStreams is the cumulative degraded stream-slot count.
+	DegradedStreams int `json:"degraded_streams"`
+	// TransientEpochs counts epochs lost to transient failures.
+	TransientEpochs int `json:"transient_epochs"`
+	// TransientBudget is the remaining tolerated consecutive transient
+	// failures.
+	TransientBudget int `json:"transient_budget"`
+	// Retriggers counts ε-monitor search restarts.
+	Retriggers int `json:"retriggers"`
+	// Checkpoints counts durable checkpoint writes.
+	Checkpoints int `json:"checkpoints"`
+	// Clock is the transfer clock at the last event (seconds).
+	Clock float64 `json:"clock_seconds"`
+	// Done reports whether the session has finished.
+	Done bool `json:"done"`
+	// Err is the terminal error, if the session failed.
+	Err string `json:"error,omitempty"`
+}
+
+// Status is the /status document: every registered session, in
+// registration order.
+type Status struct {
+	// Sessions lists each session's live state.
+	Sessions []SessionStatus `json:"sessions"`
+}
+
+// Status snapshots every session's live state. Nil receiver returns a
+// zero Status.
+func (o *Observer) Status() Status {
+	if o == nil {
+		return Status{}
+	}
+	o.mu.Lock()
+	sessions := make([]*SessionObs, len(o.sessions))
+	copy(sessions, o.sessions)
+	o.mu.Unlock()
+	st := Status{Sessions: make([]SessionStatus, 0, len(sessions))}
+	for _, s := range sessions {
+		st.Sessions = append(st.Sessions, s.Status())
+	}
+	return st
+}
+
+// Session returns the session view registered under id, creating it on
+// first use. Sessions appear in /status in creation order and label
+// every session-scoped metric with session=id. Returns nil (a no-op
+// view) on a nil receiver.
+func (o *Observer) Session(id string) *SessionObs {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	if s, ok := o.byID[id]; ok {
+		o.mu.Unlock()
+		return s
+	}
+	o.mu.Unlock()
+
+	lbl := L("session", id)
+	s := &SessionObs{
+		o:          o,
+		id:         id,
+		epochs:     o.reg.Counter(MetricEpochs, "Completed control epochs.", lbl),
+		bytes:      o.reg.Counter(MetricBytes, "Payload bytes acknowledged.", lbl),
+		dials:      o.reg.Counter(MetricDials, "New data connections established.", lbl),
+		reused:     o.reg.Counter(MetricReused, "Warm streams reused instead of dialed.", lbl),
+		retries:    o.reg.Counter(MetricRetries, "Transient-error retries inside epochs.", lbl),
+		degraded:   o.reg.Counter(MetricDegraded, "Stream-slots run below requested concurrency.", lbl),
+		transient:  o.reg.Counter(MetricTransientEpochs, "Epochs lost to transient failures.", lbl),
+		retriggers: o.reg.Counter(MetricRetriggers, "Epsilon-monitor search restarts.", lbl),
+		ckWrites:   o.reg.Counter(MetricCheckpointWrites, "Durable checkpoint writes.", lbl),
+		evictions:  o.reg.Counter(MetricStripeEvictions, "Dead stripes evicted from the warm pool.", lbl),
+		throughput: o.reg.Gauge(MetricThroughput, "Last epoch mean throughput in bytes/second.", lbl),
+		bestCase:   o.reg.Gauge(MetricBestCase, "Last epoch dead-time-compensated throughput in bytes/second.", lbl),
+		nc:         o.reg.Gauge(MetricParamNC, "Current concurrency (nc) parameter.", lbl),
+		np:         o.reg.Gauge(MetricParamNP, "Current parallelism (np) parameter.", lbl),
+		budget:     o.reg.Gauge(MetricTransientBudget, "Remaining tolerated consecutive transient failures.", lbl),
+		pool:       o.reg.Gauge(MetricWarmPool, "Idle warm streams pooled between epochs.", lbl),
+		deadTime:   o.reg.Histogram(MetricDeadTime, "Per-epoch dead time in seconds.", DefaultLatencyBuckets, lbl),
+		ckSeconds:  o.reg.Histogram(MetricCheckpointSeconds, "Checkpoint write latency in wall seconds.", DefaultLatencyBuckets, lbl),
+	}
+	s.st.ID = id
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if prior, ok := o.byID[id]; ok {
+		return prior // lost a registration race; instruments are shared anyway
+	}
+	o.byID[id] = s
+	o.sessions = append(o.sessions, s)
+	return s
+}
+
+// SessionObs is one session's observation view: it owns the session's
+// metric instruments, feeds /status, and emits session-scoped events.
+// A nil *SessionObs is a valid no-op. All methods are safe for
+// concurrent use.
+type SessionObs struct {
+	o  *Observer
+	id string
+
+	epochs, bytes, dials, reused, retries, degraded *Counter
+	transient, retriggers, ckWrites, evictions      *Counter
+	throughput, bestCase, nc, np, budget, pool      *Gauge
+	deadTime, ckSeconds                             *Histogram
+
+	mu sync.Mutex
+	st SessionStatus
+}
+
+// ID returns the session's stable identifier; "" on a nil receiver.
+func (s *SessionObs) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Status snapshots the session's live state; a zero value on a nil
+// receiver.
+func (s *SessionObs) Status() SessionStatus {
+	if s == nil {
+		return SessionStatus{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.X = append([]int(nil), s.st.X...)
+	return st
+}
+
+// SetStrategy records the session's strategy name for /status.
+func (s *SessionObs) SetStrategy(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.st.Strategy = name
+	s.mu.Unlock()
+}
+
+// setParams mirrors the leading parameter dimensions into the nc/np
+// gauges and the status vector. Callers hold s.mu.
+func (s *SessionObs) setParams(x []int) {
+	s.st.X = append(s.st.X[:0], x...)
+	if len(x) > 0 {
+		s.nc.Set(float64(x[0]))
+	}
+	if len(x) > 1 {
+		s.np.Set(float64(x[1]))
+	}
+}
+
+// Propose records the strategy proposing vector x at transfer clock t,
+// with prev the previously proposed vector (nil on the first epoch).
+func (s *SessionObs) Propose(t float64, x, prev []int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setParams(x)
+	s.st.Clock = t
+	epoch := s.st.Epochs
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventPropose, Session: s.id, Epoch: epoch,
+		X: append([]int(nil), x...), Prev: append([]int(nil), prev...)})
+}
+
+// EpochStart records the data plane beginning epoch with vector x at
+// transfer clock t.
+func (s *SessionObs) EpochStart(t float64, epoch int, x []int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setParams(x)
+	s.st.Clock = t
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventEpochStart, Session: s.id, Epoch: epoch,
+		X: append([]int(nil), x...)})
+}
+
+// EpochEnd records the epoch's observed report. transient marks an
+// epoch synthesized from a transient failure (its stats are zero);
+// budget is the remaining transient-failure budget after this epoch.
+func (s *SessionObs) EpochEnd(t float64, epoch int, x []int, rep EpochStats, transient bool, budget int) {
+	if s == nil {
+		return
+	}
+	s.epochs.Inc()
+	s.bytes.Add(int64(rep.Bytes))
+	s.dials.Add(int64(rep.Dials))
+	s.reused.Add(int64(rep.ReusedStreams))
+	s.retries.Add(int64(rep.Retries))
+	s.degraded.Add(int64(rep.DegradedStreams))
+	s.throughput.Set(rep.Throughput)
+	s.bestCase.Set(rep.BestCase)
+	s.deadTime.Observe(rep.DeadTime)
+	s.budget.Set(float64(budget))
+	if transient {
+		s.transient.Inc()
+	}
+	s.mu.Lock()
+	s.st.Epochs = epoch + 1
+	s.st.Throughput = rep.Throughput
+	s.st.BestCase = rep.BestCase
+	s.st.Bytes += rep.Bytes
+	s.st.DeadTime = rep.DeadTime
+	s.st.Dials += rep.Dials
+	s.st.ReusedStreams += rep.ReusedStreams
+	s.st.Retries += rep.Retries
+	s.st.DegradedStreams += rep.DegradedStreams
+	s.st.TransientBudget = budget
+	if transient {
+		s.st.TransientEpochs++
+	}
+	s.st.Clock = t
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventEpochEnd, Session: s.id, Epoch: epoch,
+		X: append([]int(nil), x...), Throughput: rep.Throughput,
+		BestCase: rep.BestCase, Bytes: rep.Bytes, DeadTime: rep.DeadTime,
+		Dials: rep.Dials, Reused: rep.ReusedStreams, Retries: rep.Retries,
+		Degraded: rep.DegradedStreams, Transient: transient})
+}
+
+// Observe records the fitness delta handed to the strategy: delta is
+// the relative change against the previous observation (0 on the
+// first).
+func (s *SessionObs) Observe(t float64, epoch int, delta float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.st.Clock = t
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventObserve, Session: s.id, Epoch: epoch, Delta: delta})
+}
+
+// Retrigger records an armed ε-monitor restarting the search after
+// observing relative change delta.
+func (s *SessionObs) Retrigger(t float64, delta float64) {
+	if s == nil {
+		return
+	}
+	s.retriggers.Inc()
+	s.mu.Lock()
+	s.st.Retriggers++
+	epoch := s.st.Epochs
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventRetriggerEpsilon, Session: s.id, Epoch: epoch, Delta: delta})
+}
+
+// CheckpointWritten records a durable checkpoint write covering epochs
+// completed epochs, taking seconds of wall time. The latency lands in
+// metrics only — never in the event — so Sim-backed traces stay
+// deterministic.
+func (s *SessionObs) CheckpointWritten(t float64, epochs int, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.ckWrites.Inc()
+	s.ckSeconds.Observe(seconds)
+	s.mu.Lock()
+	s.st.Checkpoints++
+	s.mu.Unlock()
+	s.o.Event(Event{T: t, Type: EventCheckpointWritten, Session: s.id, Epoch: epochs})
+}
+
+// StripeDialed records the warm data plane establishing a new stripe
+// connection; pool is the resulting live stripe count.
+func (s *SessionObs) StripeDialed(t float64, pool int) {
+	if s == nil {
+		return
+	}
+	s.pool.Set(float64(pool))
+	s.o.Event(Event{T: t, Type: EventStripeDialed, Session: s.id, Dials: 1})
+}
+
+// StripeEvicted records a dead stripe leaving the warm pool; detail
+// carries the eviction reason.
+func (s *SessionObs) StripeEvicted(t float64, detail string) {
+	if s == nil {
+		return
+	}
+	s.evictions.Inc()
+	s.o.Event(Event{T: t, Type: EventStripeEvicted, Session: s.id, Detail: detail})
+}
+
+// SetPool updates the warm-pool gauge without emitting an event (used
+// when stripes are parked between epochs).
+func (s *SessionObs) SetPool(n int) {
+	if s == nil {
+		return
+	}
+	s.pool.Set(float64(n))
+}
+
+// Finish marks the session done, recording its terminal error if any.
+func (s *SessionObs) Finish(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.st.Done = true
+	if err != nil {
+		s.st.Err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// FaultKind labels an injected fault for metrics and events.
+type FaultKind string
+
+// The fault vocabulary of the faultnet fabric.
+const (
+	// FaultDialRefusal is an injected connection refusal at dial time.
+	FaultDialRefusal FaultKind = "dial-refusal"
+	// FaultReset is an injected mid-stream connection reset.
+	FaultReset FaultKind = "reset"
+)
+
+// FaultInjected records the faultnet fabric injecting a fault of the
+// given kind; detail carries the affected address. No-op on a nil
+// receiver.
+func (o *Observer) FaultInjected(kind FaultKind, detail string) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(MetricFaults, "Injected faults by kind.", L("kind", string(kind))).Inc()
+	o.Event(Event{Type: EventFaultInjected, Detail: string(kind) + " " + detail})
+}
+
+// ServerMetrics is gridftpd's instrument bundle. A nil *ServerMetrics
+// is a valid no-op; all methods are safe for concurrent use.
+type ServerMetrics struct {
+	conns   *Counter
+	bytes   *Counter
+	tokens  *Gauge
+	expired *Counter
+}
+
+// ServerMetrics registers and returns gridftpd's instrument bundle;
+// nil on a nil receiver.
+func (o *Observer) ServerMetrics() *ServerMetrics {
+	if o == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		conns:   o.reg.Counter(MetricServerConns, "Connections accepted by gridftpd."),
+		bytes:   o.reg.Counter(MetricServerBytes, "Payload bytes received by gridftpd."),
+		tokens:  o.reg.Gauge(MetricServerTokens, "Live transfer tokens on gridftpd."),
+		expired: o.reg.Counter(MetricServerExpired, "Transfer tokens expired by the janitor."),
+	}
+}
+
+// Conn counts one accepted connection.
+func (m *ServerMetrics) Conn() {
+	if m == nil {
+		return
+	}
+	m.conns.Inc()
+}
+
+// AddBytes counts n received payload bytes.
+func (m *ServerMetrics) AddBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.bytes.Add(n)
+}
+
+// SetTokens updates the live transfer-token gauge.
+func (m *ServerMetrics) SetTokens(n int) {
+	if m == nil {
+		return
+	}
+	m.tokens.Set(float64(n))
+}
+
+// Expired counts n tokens expired by the janitor.
+func (m *ServerMetrics) Expired(n int) {
+	if m == nil {
+		return
+	}
+	m.expired.Add(int64(n))
+}

@@ -20,13 +20,16 @@ const (
 // (vector, fitness) pairs the walk compares, the stall rotation, and
 // the precomputed next proposal.
 type CDState struct {
+	// Phase is the tuner phase: probe or walk.
 	Phase string `json:"phase"`
 	// XPrev2 and F2 are the older of the two compared epochs.
-	XPrev2 []int   `json:"x_prev2,omitempty"`
-	F2     float64 `json:"f2,omitempty"`
+	XPrev2 []int `json:"x_prev2,omitempty"`
+	// F2 is XPrev2's fitness.
+	F2 float64 `json:"f2,omitempty"`
 	// XPrev and F1 are the newer of the two compared epochs.
-	XPrev []int   `json:"x_prev,omitempty"`
-	F1    float64 `json:"f1,omitempty"`
+	XPrev []int `json:"x_prev,omitempty"`
+	// F1 is XPrev's fitness.
+	F1 float64 `json:"f1,omitempty"`
 	// Rotation tracks the active coordinate and its stall count.
 	Rotation Rotation `json:"rotation"`
 	// Next is the vector Propose returns.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"dstune/internal/ivec"
+	"dstune/internal/obs"
 	"dstune/internal/xfer"
 )
 
@@ -43,13 +45,16 @@ func (d *Driver) Run(ctx context.Context, s Strategy, t xfer.Transferer) (*Trace
 		return nil, err
 	}
 	r := &session{cfg: d.cfg.withDefaults(), s: s, t: t, tr: &Trace{Tuner: s.Name()}}
+	r.cfg.Obs.SetStrategy(s.Name())
 	if ck := d.cfg.Resume; ck != nil {
 		if err := r.resume(ck); err != nil {
 			return nil, err
 		}
 	}
 	defer r.close()
-	return r.loop(ctx)
+	tr, err := r.loop(ctx)
+	r.cfg.Obs.Finish(err)
+	return tr, err
 }
 
 // session is one Driver.Run in flight.
@@ -68,6 +73,14 @@ type session struct {
 	// resumed run needs (a real-socket Stop deletes the server-side
 	// byte account).
 	preserve bool
+	// lastX is the previously proposed vector, carried on Propose
+	// events so a trace shows the strategy's step deltas.
+	lastX []int
+	// lastFit is the fitness of the previous observed epoch, the
+	// baseline for the relative delta carried on Observe events.
+	lastFit float64
+	// haveFit reports whether lastFit holds a real observation yet.
+	haveFit bool
 }
 
 // resume validates ck against the strategy and restores the session
@@ -148,6 +161,8 @@ func (r *session) loop(ctx context.Context) (*Trace, error) {
 		if done {
 			return r.tr, nil
 		}
+		r.cfg.Obs.Propose(r.t.Now(), x, r.lastX)
+		r.lastX = ivec.Clone(x)
 		stop, err := r.step(ctx, x)
 		if err != nil || stop {
 			return r.tr, err
@@ -169,13 +184,15 @@ func (r *session) loop(ctx context.Context) (*Trace, error) {
 // time), checkpoints, and stops with the context's error.
 func (r *session) step(ctx context.Context, x []int) (bool, error) {
 	p := r.cfg.Map(x)
+	epoch := len(r.records)
 	start := r.t.Now()
+	r.cfg.Obs.EpochStart(start, epoch, x)
 	rep, err := r.t.Run(ctx, p, r.cfg.Epoch)
 	switch {
 	case err == nil:
 		r.transients = 0
 		r.record(x, rep, false)
-		r.s.Observe(rep)
+		r.observe(epoch, x, rep, false)
 		if ckErr := r.checkpoint(); ckErr != nil {
 			return true, ckErr
 		}
@@ -184,7 +201,7 @@ func (r *session) step(ctx context.Context, x []int) (bool, error) {
 		r.preserve = true
 		if rep.End > rep.Start {
 			r.record(x, rep, false)
-			r.s.Observe(rep)
+			r.observe(epoch, x, rep, false)
 		}
 		if ckErr := r.checkpoint(); ckErr != nil {
 			return true, ckErr
@@ -195,7 +212,7 @@ func (r *session) step(ctx context.Context, x []int) (bool, error) {
 		if r.transients < r.cfg.MaxTransientFailures {
 			rep = xfer.Report{Params: p, Start: start, End: r.t.Now()}
 			r.record(x, rep, true)
-			r.s.Observe(rep)
+			r.observe(epoch, x, rep, true)
 			if ckErr := r.checkpoint(); ckErr != nil {
 				return true, ckErr
 			}
@@ -205,6 +222,37 @@ func (r *session) step(ctx context.Context, x []int) (bool, error) {
 	default:
 		return true, err
 	}
+}
+
+// observe publishes the epoch's outcome to the observation plane and
+// feeds the report to the strategy, in that order, so an ε-retrigger
+// emitted inside Strategy.Observe lands after the Observe event in the
+// trace.
+func (r *session) observe(epoch int, x []int, rep xfer.Report, transient bool) {
+	if r.cfg.Obs != nil {
+		budget := r.cfg.MaxTransientFailures - 1 - r.transients
+		if budget < 0 {
+			budget = 0
+		}
+		r.cfg.Obs.EpochEnd(rep.End, epoch, x, obs.EpochStats{
+			Throughput:      rep.Throughput,
+			BestCase:        rep.BestCase,
+			Bytes:           rep.Bytes,
+			DeadTime:        rep.DeadTime,
+			Dials:           rep.Dials,
+			ReusedStreams:   rep.ReusedStreams,
+			Retries:         rep.Retries,
+			DegradedStreams: rep.DegradedStreams,
+		}, transient, budget)
+		f := fitnessOf(r.cfg, rep)
+		var d float64
+		if r.haveFit {
+			d = delta(r.lastFit, f)
+		}
+		r.lastFit, r.haveFit = f, true
+		r.cfg.Obs.Observe(rep.End, epoch, d)
+	}
+	r.s.Observe(rep)
 }
 
 // interrupted reports the pending interrupt, if any: a cancelled ctx
@@ -274,8 +322,13 @@ func (r *session) checkpoint() error {
 		Strategy:   raw,
 		Trace:      append([]EpochRecord(nil), r.records...),
 	}
+	t0 := time.Now()
 	if err := r.cfg.Checkpoint.Save(ck); err != nil {
 		return fmt.Errorf("tuner: checkpoint: %w", err)
 	}
+	// The write latency is wall time and lands in metrics only; the
+	// event carries the transfer clock, keeping Sim traces
+	// deterministic.
+	r.cfg.Obs.CheckpointWritten(r.t.Now(), ck.Epochs, time.Since(t0).Seconds())
 	return nil
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"dstune/internal/ivec"
+	"dstune/internal/obs"
 	"dstune/internal/xfer"
 )
 
@@ -22,6 +25,10 @@ type FleetConfig struct {
 	// transient epoch failure (default 3). 1 means the first failure
 	// of any kind ends the session.
 	MaxTransientFailures int
+	// Obs, when non-nil, observes every session: each session
+	// registers under its stable ID, labels its metrics with it, and
+	// appears in the /status document. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -41,6 +48,11 @@ func (c FleetConfig) withDefaults() FleetConfig {
 // single-transfer session may leave Dims nil to hand the whole vector
 // to that transfer.
 type FleetSession struct {
+	// ID is the session's stable identifier: the metrics label, the
+	// /status key, and the error prefix. Empty defaults to Name (then
+	// to the strategy name); Fleet deduplicates colliding IDs
+	// deterministically by appending "-2", "-3", … in session order.
+	ID string
 	// Name labels the session in results; empty defaults to the
 	// strategy name.
 	Name string
@@ -56,6 +68,13 @@ type FleetSession struct {
 	// Weights scale each transfer's contribution to the aggregate
 	// objective the strategy observes; nil = all ones.
 	Weights []float64
+	// Checkpoint, when non-nil, receives the session's durable state
+	// after every settled epoch, exactly like the single-session
+	// Driver. Only single-transfer sessions support checkpointing.
+	Checkpoint CheckpointWriter
+	// Seed is recorded in the session's checkpoints so a resumed
+	// single-session run reconstructs the same strategy.
+	Seed uint64
 }
 
 // validate reports whether the session is usable.
@@ -88,6 +107,9 @@ func (s FleetSession) validate() error {
 	if s.Weights != nil && len(s.Weights) != len(s.Transfers) {
 		return fmt.Errorf("session has %d weights for %d transfers", len(s.Weights), len(s.Transfers))
 	}
+	if s.Checkpoint != nil && len(s.Transfers) != 1 {
+		return fmt.Errorf("session has %d transfers; checkpointing supports exactly one", len(s.Transfers))
+	}
 	return nil
 }
 
@@ -95,6 +117,8 @@ func (s FleetSession) validate() error {
 // Transfers order), the total bytes its epochs moved, and the error
 // that ended it, if any.
 type SessionResult struct {
+	// ID is the session's stable identifier (post-deduplication).
+	ID string
 	// Name is the session's label.
 	Name string
 	// Traces hold each transfer's recorded epochs; every epoch records
@@ -135,6 +159,7 @@ func NewFleet(cfg FleetConfig, sessions ...FleetSession) *Fleet {
 type fleetSession struct {
 	cfg     FleetConfig
 	spec    FleetSession
+	id      string
 	dims    []int
 	weights []float64
 	traces  []*Trace
@@ -145,6 +170,20 @@ type fleetSession struct {
 	err        error
 	// parts holds the current round's per-transfer slices.
 	parts [][]int
+	// obs is the session's observation view (nil when unobserved).
+	obs *obs.SessionObs
+	// epochs counts settled rounds, the epoch index for observation
+	// and checkpointing.
+	epochs int
+	// lastX is the previous proposal, carried on Propose events.
+	lastX []int
+	// lastFit/haveFit track the previous aggregate throughput for
+	// Observe-event deltas.
+	lastFit float64
+	haveFit bool
+	// records accumulates the checkpoint trace when the session
+	// checkpoints.
+	records []EpochRecord
 }
 
 // fleetJob is one (session, transfer) epoch in flight.
@@ -170,14 +209,18 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 		return nil, errors.New("tuner: fleet has no sessions")
 	}
 	states := make([]*fleetSession, len(f.sessions))
+	ids := make(map[string]bool, len(f.sessions))
 	for i, spec := range f.sessions {
+		id := sessionID(spec, ids)
 		if err := spec.validate(); err != nil {
-			return nil, fmt.Errorf("tuner: fleet session %d: %w", i, err)
+			return nil, fmt.Errorf("tuner: fleet session %q: %w", id, err)
 		}
 		if spec.Name == "" {
 			spec.Name = spec.Strategy.Name()
 		}
-		s := &fleetSession{cfg: cfg, spec: spec, dims: spec.Dims, weights: spec.Weights}
+		s := &fleetSession{cfg: cfg, spec: spec, id: id, dims: spec.Dims, weights: spec.Weights}
+		s.obs = cfg.Obs.Session(id)
+		s.obs.SetStrategy(spec.Strategy.Name())
 		if s.weights == nil {
 			s.weights = make([]float64, len(spec.Transfers))
 			for j := range s.weights {
@@ -203,12 +246,16 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 				s.finish(nil)
 				continue
 			}
+			now := s.spec.Transfers[0].Now()
+			s.obs.Propose(now, x, s.lastX)
+			s.lastX = ivec.Clone(x)
 			parts, err := s.slice(x)
 			if err != nil {
 				s.finish(err)
 				continue
 			}
 			s.parts = parts
+			s.obs.EpochStart(now, s.epochs, x)
 			for i := range s.spec.Transfers {
 				jobs = append(jobs, &fleetJob{
 					s: s, i: i,
@@ -247,9 +294,31 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 
 	results := make([]SessionResult, len(states))
 	for i, s := range states {
-		results[i] = SessionResult{Name: s.spec.Name, Traces: s.traces, Bytes: s.bytes, Err: s.err}
+		results[i] = SessionResult{ID: s.id, Name: s.spec.Name, Traces: s.traces, Bytes: s.bytes, Err: s.err}
 	}
 	return results, nil
+}
+
+// sessionID resolves a session's stable identifier: explicit ID, then
+// Name, then the strategy name, deduplicated deterministically by
+// appending "-2", "-3", … in declaration order.
+func sessionID(spec FleetSession, used map[string]bool) string {
+	base := spec.ID
+	if base == "" {
+		base = spec.Name
+	}
+	if base == "" && spec.Strategy != nil {
+		base = spec.Strategy.Name()
+	}
+	if base == "" {
+		base = "session"
+	}
+	id := base
+	for n := 2; used[id]; n++ {
+		id = fmt.Sprintf("%s-%d", base, n)
+	}
+	used[id] = true
+	return id
 }
 
 // slice cuts the session vector into per-transfer slices.
@@ -316,11 +385,45 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 		agg.Bytes += j.rep.Bytes
 		agg.Throughput += s.weights[j.i] * j.rep.Throughput
 		agg.BestCase += s.weights[j.i] * j.rep.BestCase
+		agg.DeadTime += j.rep.DeadTime
+		agg.Dials += j.rep.Dials
+		agg.ReusedStreams += j.rep.ReusedStreams
+		agg.Retries += j.rep.Retries
+		agg.DegradedStreams += j.rep.DegradedStreams
 		if j.rep.Done {
 			agg.Done = true
 		}
 	}
+	epoch := s.epochs
+	s.epochs++
+	if s.obs != nil {
+		budget := s.cfg.MaxTransientFailures - 1 - s.transients
+		if budget < 0 {
+			budget = 0
+		}
+		x := s.lastX
+		s.obs.EpochEnd(agg.End, epoch, x, obs.EpochStats{
+			Throughput:      agg.Throughput,
+			BestCase:        agg.BestCase,
+			Bytes:           agg.Bytes,
+			DeadTime:        agg.DeadTime,
+			Dials:           agg.Dials,
+			ReusedStreams:   agg.ReusedStreams,
+			Retries:         agg.Retries,
+			DegradedStreams: agg.DegradedStreams,
+		}, failed, budget)
+		var d float64
+		if s.haveFit {
+			d = delta(s.lastFit, agg.Throughput)
+		}
+		s.lastFit, s.haveFit = agg.Throughput, true
+		s.obs.Observe(agg.End, epoch, d)
+	}
 	s.spec.Strategy.Observe(agg)
+	if err := s.checkpoint(jobs, failed); err != nil {
+		s.finish(err)
+		return
+	}
 	if agg.Done {
 		s.finish(nil)
 		return
@@ -330,10 +433,44 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 	}
 }
 
+// checkpoint writes the session's durable state after a settled epoch,
+// in the same Checkpoint form the single-session Driver writes, so a
+// single-transfer fleet session can be resumed as a solo run. No-op
+// without a configured writer.
+func (s *fleetSession) checkpoint(jobs []*fleetJob, transient bool) error {
+	if s.spec.Checkpoint == nil {
+		return nil
+	}
+	// validate() pinned checkpointing sessions to one transfer.
+	j := jobs[0]
+	s.records = append(s.records, EpochRecord{X: ivec.Clone(s.parts[0]), Report: j.rep, Transient: transient})
+	raw, err := s.spec.Strategy.Snapshot()
+	if err != nil {
+		return fmt.Errorf("tuner: fleet session %q: checkpoint: strategy snapshot: %w", s.id, err)
+	}
+	ck := &Checkpoint{
+		Version:    CheckpointVersion,
+		Tuner:      s.spec.Strategy.Name(),
+		Seed:       s.spec.Seed,
+		Epochs:     len(s.records),
+		Transients: s.transients,
+		Transfer:   xfer.CaptureState(s.spec.Transfers[0]),
+		Strategy:   raw,
+		Trace:      append([]EpochRecord(nil), s.records...),
+	}
+	t0 := time.Now()
+	if err := s.spec.Checkpoint.Save(ck); err != nil {
+		return fmt.Errorf("tuner: fleet session %q: checkpoint: %w", s.id, err)
+	}
+	s.obs.CheckpointWritten(s.spec.Transfers[0].Now(), ck.Epochs, time.Since(t0).Seconds())
+	return nil
+}
+
 // finish ends the session and stops its transfers.
 func (s *fleetSession) finish(err error) {
 	s.done = true
 	s.err = err
+	s.obs.Finish(err)
 	for _, t := range s.spec.Transfers {
 		t.Stop()
 	}

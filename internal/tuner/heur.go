@@ -19,6 +19,7 @@ const (
 
 // Heur1State is the serializable state of heur1.
 type Heur1State struct {
+	// Phase is the tuner phase (always the climb/hold loop).
 	Phase string `json:"phase"`
 	// X is the adopted vector; a rejected probe is not adopted.
 	X []int `json:"x"`
@@ -141,6 +142,7 @@ func (h *Heur1) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
 
 // Heur2State is the serializable state of heur2.
 type Heur2State struct {
+	// Phase is the tuner phase: climb or hold.
 	Phase string `json:"phase"`
 	// X is the settled vector so far.
 	X []int `json:"x"`

@@ -18,15 +18,17 @@ import (
 type JointConfig struct {
 	// Epoch, Tolerance, Lambda, NM, Budget, Seed, Restart, and
 	// ObserveBestCase mean the same as in Config.
-	Epoch           float64
-	Tolerance       float64
-	Lambda          float64
-	NM              directsearch.NMConfig
-	Box             directsearch.Box
-	Start           []int
-	Budget          float64
-	Seed            uint64
-	Restart         RestartFrom
+	Epoch     float64               // control-epoch length in seconds
+	Tolerance float64               // significance threshold in percent
+	Lambda    float64               // forgetting factor for the smoothed objective
+	NM        directsearch.NMConfig // Nelder-Mead knobs
+	Box       directsearch.Box      // bounds over the concatenated vector
+	Start     []int                 // initial concatenated vector
+	Budget    float64               // tuning time budget in seconds; 0 = unlimited
+	Seed      uint64                // drives all randomness
+	Restart   RestartFrom           // where a monitor retrigger restarts the search
+	// ObserveBestCase selects the best-case (loss-free) throughput as
+	// the objective, as in Config.
 	ObserveBestCase bool
 
 	// Dims is the vector width per transfer (e.g. [2, 2] for two

@@ -20,15 +20,18 @@ const (
 // sampling progress, the accumulated (stream count, throughput)
 // samples, the chosen stream count, and the ε-monitor.
 type ModelState struct {
+	// Phase is the tuner phase: sample or hold.
 	Phase string `json:"phase"`
 	// Idx is the next sample point to probe (sample phase).
 	Idx int `json:"idx"`
 	// Ns and Th are the samples collected so far this sweep.
-	Ns []int     `json:"ns,omitempty"`
+	Ns []int `json:"ns,omitempty"`
+	// Th holds the throughputs paired with Ns.
 	Th []float64 `json:"th,omitempty"`
 	// BestN and BestF track the best probe of the sweep, the fallback
 	// when the curve fit is degenerate.
-	BestN int     `json:"best_n"`
+	BestN int `json:"best_n"`
+	// BestF is BestN's fitness.
 	BestF float64 `json:"best_f"`
 	// N is the chosen stream count (hold phase).
 	N int `json:"n"`
@@ -149,7 +152,9 @@ func (m *ModelStrategy) Observe(rep xfer.Report) {
 		st.Monitor.Disarm()
 		st.Next = m.withN(st.N)
 	case modelPhaseHold:
+		last := st.Monitor.Last
 		if st.Monitor.Observe(f) {
+			m.cfg.Obs.Retrigger(rep.End, delta(last, f))
 			m.beginSample()
 		}
 	}

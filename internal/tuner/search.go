@@ -29,6 +29,7 @@ const (
 // complete position (the compass step size, polling queue, and
 // pending candidate, or the Nelder–Mead simplex and working points).
 type SearchState struct {
+	// Phase is the tuner phase: search or monitor.
 	Phase string `json:"phase"`
 	// X is the incumbent held during the monitor phase.
 	X []int `json:"x,omitempty"`
@@ -162,7 +163,9 @@ func (s *SearchStrategy) Observe(rep xfer.Report) {
 		return
 	}
 	// Lines 18-25: the monitor loop.
+	last := s.monitor.Last
 	if s.monitor.Observe(f) {
+		s.cfg.Obs.Retrigger(rep.End, delta(last, f))
 		start := s.x0
 		if s.cfg.Restart == FromCurrent {
 			start = s.x

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"dstune/internal/directsearch"
+	"dstune/internal/obs"
 	"dstune/internal/trace"
 	"dstune/internal/xfer"
 )
@@ -145,6 +146,12 @@ type Config struct {
 	// ErrInterrupted. Cancelling the Tune context instead aborts the
 	// in-flight epoch immediately.
 	Drain <-chan struct{}
+	// Obs, when non-nil, receives the run's observations: per-epoch
+	// metrics, structured events (Propose/EpochStart/EpochEnd/Observe,
+	// ε-monitor retriggers, checkpoint writes), and the live state
+	// served by /status. Nil — the default — disables observation at
+	// zero cost; see the obs package and OBSERVABILITY.md.
+	Obs *obs.SessionObs
 }
 
 // resolveSentinel maps the zero value to def and the NaN sentinel
