@@ -7,6 +7,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dstune"
 )
@@ -52,7 +53,8 @@ type fleetSessionSpec struct {
 	// Name labels the session; empty defaults to the tuner name.
 	Name string `json:"name"`
 	// Tuner is the strategy: default, cd-tuner, cs-tuner, nm-tuner,
-	// heur1, heur2, model.
+	// heur1, heur2, model, two-phase, or any of them under a "warm:"
+	// prefix.
 	Tuner string `json:"tuner"`
 	// Two tunes parallelism as well as concurrency.
 	Two bool `json:"two"`
@@ -82,8 +84,10 @@ type fleetSessionSpec struct {
 // observer watches every session (metrics labeled by session ID, live
 // /status); a non-empty checkpointPath makes each session write its
 // durable state to a per-session file derived from it (see
-// sessionCheckpointPath).
-func runFleet(path string, observer *dstune.Observer, checkpointPath string) error {
+// sessionCheckpointPath); a non-nil history store warm-starts every
+// session and records each session's best epoch under a per-session
+// key on a clean end.
+func runFleet(path string, observer *dstune.Observer, checkpointPath string, histStore *dstune.HistoryStore) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -153,6 +157,7 @@ func runFleet(path string, observer *dstune.Observer, checkpointPath string) err
 			Tolerance: ss.Tolerance,
 			Budget:    spec.Budget,
 			Seed:      spec.Seed + uint64(i),
+			Obs:       observer.Session(id),
 		}
 		if ss.Two {
 			cfg.Box = dstune.MustBox([]int{1, 1}, []int{ss.MaxNC, ss.MaxNP})
@@ -163,7 +168,23 @@ func runFleet(path string, observer *dstune.Observer, checkpointPath string) err
 			cfg.Start = []int{2}
 			cfg.Map = dstune.MapNC(ss.NP)
 		}
-		strat, err := dstune.NewStrategy(ss.Tuner, cfg)
+		// The session's history key embeds the deduplicated session ID
+		// in the endpoint identity: "bulk" and "bulk-2" record under
+		// different keys, never aliasing one another's best-known
+		// vector, and the key survives spec renames of other sessions.
+		key := fleetHistoryKey(spec, ss, id)
+		var strat dstune.Strategy
+		var err error
+		switch inner, warm := strings.CutPrefix(ss.Tuner, "warm:"); {
+		case warm:
+			strat, err = dstune.NewWarmStartStrategy(inner, cfg, histStore, key)
+		case ss.Tuner == "two-phase":
+			strat = dstune.NewTwoPhaseStrategy(cfg, histStore, key)
+		case histStore != nil:
+			strat, err = dstune.NewWarmStartStrategy(ss.Tuner, cfg, histStore, key)
+		default:
+			strat, err = dstune.NewStrategy(ss.Tuner, cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -203,6 +224,9 @@ func runFleet(path string, observer *dstune.Observer, checkpointPath string) err
 		if checkpointPath != "" {
 			session.Checkpoint = dstune.NewFileCheckpoint(sessionCheckpointPath(checkpointPath, id))
 		}
+		if histStore != nil {
+			session.HistoryKey = key
+		}
 		sessions = append(sessions, session)
 	}
 
@@ -211,6 +235,7 @@ func runFleet(path string, observer *dstune.Observer, checkpointPath string) err
 		Budget:               spec.Budget,
 		MaxTransientFailures: spec.MaxTransient,
 		Obs:                  observer,
+		History:              histStore,
 	}, sessions...)
 	results, err := fleet.Run(context.Background())
 	if err != nil {
@@ -230,6 +255,30 @@ func runFleet(path string, observer *dstune.Observer, checkpointPath string) err
 		return fmt.Errorf("one or more fleet sessions failed")
 	}
 	return nil
+}
+
+// fleetHistoryKey derives one session's identity in the shared history
+// store. The endpoint joins the transfer target — the shared testbed,
+// or the session's own server address for socket sessions — with the
+// deduplicated session ID, so identically-named sessions ("bulk",
+// "bulk-2") keep distinct keys. Fleet sessions are unbounded unless a
+// socket byte volume is set; the load class fingerprints the session's
+// configured external load.
+func fleetHistoryKey(spec fleetSpec, ss fleetSessionSpec, id string) dstune.HistoryKey {
+	target := spec.Testbed
+	if target == "" {
+		target = "uchicago"
+	}
+	volume := 0.0
+	if ss.Addr != "" {
+		target = ss.Addr
+		volume = ss.Bytes
+	}
+	return dstune.HistoryKey{
+		Endpoint:  target + "/" + id,
+		SizeClass: dstune.HistorySizeClass(volume),
+		LoadClass: dstune.HistoryLoadClass(ss.Tfr + ss.Cmp),
+	}
 }
 
 // sessionCheckpointPath derives a per-session checkpoint filename from

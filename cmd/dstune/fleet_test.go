@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dstune"
+)
+
+// TestRunFleetDedupedDurableIdentities is the fleet dedup regression:
+// two sessions with the same name must end up with distinct checkpoint
+// files AND distinct history keys — the deduplicated IDs ("bulk",
+// "bulk-2") are spliced into both before anything durable is written.
+func TestRunFleetDedupedDurableIdentities(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{
+		"testbed": "uchicago",
+		"seed": 1,
+		"epoch": 30,
+		"budget": 60,
+		"sessions": [
+			{"name": "bulk", "tuner": "cs-tuner"},
+			{"name": "bulk", "tuner": "cs-tuner"}
+		]
+	}`
+	specPath := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := dstune.OpenHistory(filepath.Join(dir, "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ckPath := filepath.Join(dir, "run.ck")
+	if err := runFleet(specPath, nil, ckPath, store); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{"run-bulk.ck", "run-bulk-2.ck"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("checkpoint %s missing: %v", want, err)
+		}
+	}
+	for _, ep := range []string{"uchicago/bulk", "uchicago/bulk-2"} {
+		if recs := store.Records(ep); len(recs) != 1 {
+			t.Errorf("endpoint %s holds %d records, want 1", ep, len(recs))
+		}
+	}
+}
+
+// TestFleetHistoryKeySocket: socket sessions key on their own server
+// address and byte volume, not the shared testbed.
+func TestFleetHistoryKeySocket(t *testing.T) {
+	spec := fleetSpec{Testbed: "tacc"}
+	ss := fleetSessionSpec{Addr: "127.0.0.1:7632", Bytes: 5e9, Tfr: 4}
+	k := fleetHistoryKey(spec, ss, "bulk-2")
+	if k.Endpoint != "127.0.0.1:7632/bulk-2" {
+		t.Fatalf("endpoint = %q", k.Endpoint)
+	}
+	if k.SizeClass != dstune.HistorySizeClass(5e9) || k.LoadClass != dstune.HistoryLoadClass(4) {
+		t.Fatalf("key = %+v", k)
+	}
+	sim := fleetHistoryKey(spec, fleetSessionSpec{}, "bg")
+	if sim.Endpoint != "tacc/bg" || sim.SizeClass != -1 {
+		t.Fatalf("sim key = %+v", sim)
+	}
+}

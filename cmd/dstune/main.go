@@ -14,7 +14,16 @@
 //	       -epoch 0.25 -duration 15 -shape-rate 8e6 -shape-quad 0.028
 //
 // The tuner is one of: default, cd-tuner, cs-tuner, nm-tuner, heur1,
-// heur2.
+// heur2, model, two-phase — or any of them under a "warm:" prefix to
+// force the warm-start wrapper's name explicitly.
+//
+// With -history FILE the process keeps a durable knowledge base of
+// past runs: the tuner warm-starts from the best-known parameters for
+// the (endpoint, size, load) regime and the run's best epoch is
+// recorded back on completion:
+//
+//	dstune -tuner cs-tuner -testbed uchicago -cmp 16 -history runs.jsonl
+//	dstune -tuner cs-tuner -testbed uchicago -cmp 16 -history runs.jsonl  # warm
 //
 // Long socket-mode runs survive interruption: -checkpoint FILE writes
 // the run's durable state after every control epoch, SIGINT/SIGTERM
@@ -41,10 +50,36 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 
 	"dstune"
 )
+
+// shutdown runs registered cleanup functions exactly once, in reverse
+// registration order, whichever exit path fires first — the normal
+// return, a fatal error, or the drained-interrupt path. log.Fatal
+// calls os.Exit, which skips deferred calls, so every fatal exit after
+// a durable sink is open must drain through this instead: otherwise
+// the event-trace file and the history store lose their final,
+// unsynced writes.
+type shutdown struct {
+	once sync.Once
+	fns  []func()
+}
+
+// add registers a cleanup to run on shutdown.
+func (s *shutdown) add(fn func()) { s.fns = append(s.fns, fn) }
+
+// run executes the registered cleanups once, last-registered first.
+func (s *shutdown) run() {
+	s.once.Do(func() {
+		for i := len(s.fns) - 1; i >= 0; i-- {
+			s.fns[i]()
+		}
+	})
+}
 
 func main() {
 	log.SetFlags(0)
@@ -52,7 +87,7 @@ func main() {
 
 	mode := flag.String("mode", "sim", "sim or socket")
 	fleetPath := flag.String("fleet", "", "drive many tuned sessions from one scheduler: JSON spec file (see cmd/dstune/fleet.go)")
-	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2")
+	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2, model, two-phase, warm:<tuner>")
 	duration := flag.Float64("duration", 1800, "transfer budget in seconds (virtual in sim mode, wall-clock in socket mode)")
 	epoch := flag.Float64("epoch", 0, "control epoch seconds (default 30 sim, 0.25 socket)")
 	tolerance := flag.Float64("tolerance", 0, "significance threshold percent (default 5 sim, 30 socket)")
@@ -67,6 +102,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole run; 0 = none")
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /status, /debug/vars, /debug/pprof) on this address, e.g. 127.0.0.1:9310")
 	obsTrace := flag.String("obs-trace", "", "append every structured event to this file as JSON lines")
+	historyPath := flag.String("history", "", "transfer-history store (JSONL): warm-start the tuner from past runs and record this run's best epoch")
 
 	// Simulation-mode flags.
 	testbed := flag.String("testbed", "uchicago", "uchicago or tacc")
@@ -96,15 +132,43 @@ func main() {
 	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
 	flag.Parse()
 
+	var shut shutdown
+	defer shut.run()
+	fatal := func(v ...any) {
+		shut.run()
+		log.Fatal(v...)
+	}
+
 	observer, obsClose, err := newObserver(*obsAddr, *obsTrace)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer obsClose()
+	shut.add(obsClose)
+
+	// The history store is the run's knowledge plane: consulted for a
+	// warm start before tuning, extended with this run's best epoch
+	// after it. A damaged file degrades (intact records load, damage is
+	// reported); only an unopenable one is fatal.
+	var histStore *dstune.HistoryStore
+	if *historyPath != "" {
+		store, herr := dstune.OpenHistory(*historyPath)
+		if store == nil {
+			fatal(herr)
+		}
+		if herr != nil {
+			log.Printf("history: %v (continuing with the %d intact records)", herr, store.Len())
+		}
+		histStore = store
+		shut.add(func() {
+			if cerr := store.Close(); cerr != nil {
+				log.Printf("history: close: %v", cerr)
+			}
+		})
+	}
 
 	if *fleetPath != "" {
-		if err := runFleet(*fleetPath, observer, *checkpointPath); err != nil {
-			log.Fatal(err)
+		if err := runFleet(*fleetPath, observer, *checkpointPath, histStore); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -115,12 +179,12 @@ func main() {
 	var resume *dstune.Checkpoint
 	if *resumePath != "" {
 		if *mode != "socket" {
-			log.Fatal("-resume requires -mode socket: simulated transfers live and die with the process")
+			fatal("-resume requires -mode socket: simulated transfers live and die with the process")
 		}
 		var err error
 		resume, err = dstune.LoadCheckpoint(*resumePath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		*name = resume.Tuner
 		*seed = resume.Seed
@@ -133,6 +197,7 @@ func main() {
 
 	var transfer dstune.Transferer
 	disk := false
+	volume := 0.0 // history size-class input; 0 = unbounded
 	switch *mode {
 	case "sim":
 		if *epoch == 0 {
@@ -151,6 +216,7 @@ func main() {
 		} else {
 			d = dstune.UniformDataset(*files, int64(*fileSize))
 		}
+		volume = float64(d.TotalBytes())
 		fmt.Printf("dataset: %s\n", d)
 		transfer, err = simTransfer(*testbed, *name, *seed,
 			dstune.Load{Tfr: *tfr, Cmp: *cmp}, *stepAt, dstune.Load{Tfr: *tfr2, Cmp: *cmp2},
@@ -162,6 +228,7 @@ func main() {
 		if *tolerance == 0 {
 			*tolerance = 30
 		}
+		volume = *bytes
 		size := *bytes
 		if size <= 0 {
 			size = dstune.Unbounded
@@ -194,7 +261,7 @@ func main() {
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// Interrupt handling: the first SIGINT/SIGTERM drains — the
@@ -221,6 +288,7 @@ func main() {
 		cancel()
 	}()
 
+	sess := observer.Session(*name)
 	cfg := dstune.TunerConfig{
 		Epoch:                *epoch,
 		Tolerance:            *tolerance,
@@ -229,7 +297,7 @@ func main() {
 		MaxTransientFailures: *maxTransient,
 		Resume:               resume,
 		Drain:                drain,
-		Obs:                  observer.Session(*name),
+		Obs:                  sess,
 	}
 	if *checkpointPath != "" {
 		cfg.Checkpoint = dstune.NewFileCheckpoint(*checkpointPath)
@@ -248,12 +316,14 @@ func main() {
 		cfg.Start = []int{2}
 		cfg.Map = dstune.MapNC(*np)
 	}
-	tn, err := makeTuner(*name, cfg)
+	key := historyKey(*mode, *testbed, *addr, volume, *tfr, *cmp)
+	tn, err := makeTuner(*name, cfg, histStore, key)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	trace, err := tn.Tune(ctx, transfer)
+	clean := err == nil
 	switch {
 	case err == nil:
 	case errors.Is(err, dstune.ErrInterrupted),
@@ -266,14 +336,44 @@ func main() {
 			log.Printf("stopped (%v) after %d epochs", err, len(trace.Results))
 		}
 	default:
-		log.Fatal(err)
+		fatal(err)
+	}
+	// A completed run extends the knowledge plane with its best epoch;
+	// interrupted runs don't — their truth lives in the checkpoint.
+	if histStore != nil && clean {
+		if x, tp, ok := trace.BestEpoch(); ok {
+			rec := dstune.HistoryRecord{Key: key, X: x, Throughput: tp, Tuner: trace.Tuner, Epochs: len(trace.Results)}
+			if aerr := histStore.Add(rec); aerr != nil {
+				log.Printf("history: record: %v", aerr)
+			} else {
+				sess.HistoryRecorded()
+				log.Printf("history: recorded x=%v at %.1f MB/s under %s", x, tp/1e6, key)
+			}
+		}
 	}
 	printTrace(trace)
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, trace); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+// historyKey derives the run's identity in the history store: the
+// endpoint is the testbed name (sim and disk modes) or the server
+// address (socket mode); the size class buckets the requested volume
+// (unbounded runs share one class); the load class fingerprints the
+// configured external load.
+func historyKey(mode, testbed, addr string, volume float64, tfr, cmp int) dstune.HistoryKey {
+	ep := testbed
+	if mode == "socket" {
+		ep = addr
+	}
+	return dstune.HistoryKey{
+		Endpoint:  ep,
+		SizeClass: dstune.HistorySizeClass(volume),
+		LoadClass: dstune.HistoryLoadClass(tfr + cmp),
 	}
 }
 
@@ -316,7 +416,14 @@ func newObserver(addr, tracePath string) (*dstune.Observer, func(), error) {
 			endpoint.Close()
 		}
 		if sink != nil {
-			sink.Close()
+			// Sync before Close: the trace must be durable, not just
+			// handed to the page cache, before the process exits.
+			if err := sink.Sync(); err != nil {
+				log.Printf("obs-trace: sync: %v", err)
+			}
+			if err := sink.Close(); err != nil {
+				log.Printf("obs-trace: close: %v", err)
+			}
 		}
 	}, nil
 }
@@ -356,23 +463,25 @@ func simTransfer(testbed, tuner string, seed uint64, l dstune.Load, stepAt float
 	return fabric.NewTransfer(tc)
 }
 
-// makeTuner builds the named tuner.
-func makeTuner(name string, cfg dstune.TunerConfig) (dstune.Tuner, error) {
-	switch name {
-	case "default":
-		return dstune.NewStatic(cfg), nil
-	case "cd-tuner":
-		return dstune.NewCD(cfg), nil
-	case "cs-tuner":
-		return dstune.NewCS(cfg), nil
-	case "nm-tuner":
-		return dstune.NewNM(cfg), nil
-	case "heur1":
-		return dstune.NewHeur1(cfg), nil
-	case "heur2":
-		return dstune.NewHeur2(cfg), nil
+// makeTuner builds the named tuner — any name dstune.KnownStrategy
+// accepts, including checkpoint names like "warm:cs-tuner" a resumed
+// run adopts. With an open history store and no pending resume, plain
+// strategies are wrapped with a warm start and "two-phase" seeds its
+// coarse candidates from the store; without one they run cold.
+func makeTuner(name string, cfg dstune.TunerConfig, store *dstune.HistoryStore, key dstune.HistoryKey) (dstune.Tuner, error) {
+	if !dstune.KnownStrategy(name) {
+		return nil, fmt.Errorf("unknown tuner %q", name)
 	}
-	return nil, fmt.Errorf("unknown tuner %q", name)
+	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
+		return dstune.NewWarm(inner, cfg, store, key)
+	}
+	if name == "two-phase" {
+		return dstune.NewTwoPhaseTuner(cfg, store, key), nil
+	}
+	if store != nil && cfg.Resume == nil {
+		return dstune.NewWarm(name, cfg, store, key)
+	}
+	return dstune.NewNamed(name, cfg)
 }
 
 // printTrace renders the per-epoch table and the summary lines.

@@ -13,8 +13,12 @@ func TestMakeTunerAllNames(t *testing.T) {
 		Start: []int{2},
 		Map:   dstune.MapNC(8),
 	}
-	for _, name := range []string{"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2"} {
-		tn, err := makeTuner(name, cfg)
+	names := []string{
+		"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2",
+		"model", "two-phase", "warm:cs-tuner",
+	}
+	for _, name := range names {
+		tn, err := makeTuner(name, cfg, nil, dstune.HistoryKey{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -22,8 +26,49 @@ func TestMakeTunerAllNames(t *testing.T) {
 			t.Fatalf("name mismatch %q vs %q", tn.Name(), name)
 		}
 	}
-	if _, err := makeTuner("bogus", cfg); err == nil {
+	if _, err := makeTuner("bogus", cfg, nil, dstune.HistoryKey{}); err == nil {
 		t.Fatal("unknown tuner accepted")
+	}
+}
+
+// TestMakeTunerWarmWrap: an open history store wraps plain strategies
+// with the warm start (so their checkpoints resume by the warm name),
+// but never a resumed run — its state comes from the checkpoint.
+func TestMakeTunerWarmWrap(t *testing.T) {
+	cfg := dstune.TunerConfig{
+		Box:   dstune.MustBox([]int{1}, []int{64}),
+		Start: []int{2},
+		Map:   dstune.MapNC(8),
+	}
+	store := dstune.NewMemHistory()
+	tn, err := makeTuner("cs-tuner", cfg, store, historyKey("sim", "uchicago", "", 0, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Name() != "warm:cs-tuner" {
+		t.Fatalf("store-backed tuner named %q, want warm:cs-tuner", tn.Name())
+	}
+
+	rcfg := cfg
+	rcfg.Resume = &dstune.Checkpoint{Tuner: "cs-tuner"}
+	tn, err = makeTuner("cs-tuner", rcfg, store, dstune.HistoryKey{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Name() != "cs-tuner" {
+		t.Fatalf("resumed tuner named %q, want the checkpoint's cs-tuner", tn.Name())
+	}
+}
+
+func TestHistoryKeyDerivation(t *testing.T) {
+	k := historyKey("sim", "uchicago", "ignored:1", 0, 0, 16)
+	want := dstune.HistoryKey{Endpoint: "uchicago", SizeClass: -1, LoadClass: dstune.HistoryLoadClass(16)}
+	if k != want {
+		t.Fatalf("sim key = %+v, want %+v", k, want)
+	}
+	k = historyKey("socket", "uchicago", "127.0.0.1:7632", 5e9, 0, 0)
+	if k.Endpoint != "127.0.0.1:7632" || k.SizeClass != dstune.HistorySizeClass(5e9) || k.LoadClass != 0 {
+		t.Fatalf("socket key = %+v", k)
 	}
 }
 
@@ -69,10 +114,10 @@ func TestWriteCSVHelper(t *testing.T) {
 
 func TestUsageStringsConsistent(t *testing.T) {
 	// The documented tuner list matches what makeTuner accepts.
-	for _, name := range strings.Split("default,cd-tuner,cs-tuner,nm-tuner,heur1,heur2", ",") {
+	for _, name := range strings.Split("default,cd-tuner,cs-tuner,nm-tuner,heur1,heur2,model,two-phase,warm:cs-tuner", ",") {
 		if _, err := makeTuner(name, dstune.TunerConfig{
 			Box: dstune.MustBox([]int{1}, []int{8}), Start: []int{1}, Map: dstune.MapNC(1),
-		}); err != nil {
+		}, nil, dstune.HistoryKey{}); err != nil {
 			t.Fatalf("documented tuner %q rejected: %v", name, err)
 		}
 	}

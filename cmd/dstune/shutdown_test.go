@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dstune"
+)
+
+// TestShutdownRunsOnceInReverse: the shutdown drain runs every
+// registered cleanup exactly once, last-registered first, no matter
+// how many exit paths call it.
+func TestShutdownRunsOnceInReverse(t *testing.T) {
+	var shut shutdown
+	var order []int
+	for i := 0; i < 3; i++ {
+		shut.add(func() { order = append(order, i) })
+	}
+	shut.run()
+	shut.run() // second drain (e.g. fatal after a deferred run) is a no-op
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("cleanup order = %v, want [2 1 0] exactly once", order)
+	}
+}
+
+// TestObserverCloseFlushesTraceSink is the shutdown-durability
+// regression: events recorded through the observer must be complete,
+// parseable lines in the trace file once the close function returns —
+// nothing buffered, nothing torn.
+func TestObserverCloseFlushesTraceSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	observer, obsClose, err := newObserver("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := observer.Session("shutdown")
+	s.SetStrategy("cs-tuner")
+	s.Propose(0, []int{2}, nil)
+	s.WarmStart(0, []int{14}, true)
+	obsClose()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace holds %d lines, want the 2 recorded events:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d is torn: %q", i, line)
+		}
+	}
+	if !strings.Contains(lines[1], `"WarmStart"`) {
+		t.Fatalf("last event not flushed: %q", lines[1])
+	}
+}
+
+// TestHistoryStoreSurvivesShutdownCycle: a record added through the
+// cmd-level open/record/close cycle is durable and reloadable, and a
+// damaged store still opens with its intact records (the degraded
+// path main() warns on rather than dying).
+func TestHistoryStoreSurvivesShutdownCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	store, err := dstune.OpenHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := historyKey("sim", "uchicago", "", 0, 0, 16)
+	if err := store.Add(dstune.HistoryRecord{Key: key, X: []int{14}, Throughput: 3e8, Tuner: "cs-tuner", Epochs: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash tearing a half-written append onto the file.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":{"endpoint":"uchi`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := dstune.OpenHistory(path)
+	if re == nil {
+		t.Fatalf("damaged store failed to open: %v", err)
+	}
+	defer re.Close()
+	if err == nil {
+		t.Fatal("damage not reported")
+	}
+	if e, ok := re.Lookup(key); !ok || e.X[0] != 14 {
+		t.Fatalf("intact record lost after damage: %+v ok=%v", e, ok)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"dstune/internal/experiment"
 	"dstune/internal/faultnet"
 	"dstune/internal/gridftp"
+	"dstune/internal/history"
 	"dstune/internal/load"
 	"dstune/internal/netem"
 	"dstune/internal/obs"
@@ -283,9 +284,21 @@ type (
 )
 
 // NewStrategy builds the named strategy — one of "default",
-// "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model" —
-// from cfg.
+// "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
+// "two-phase", or any of them under a "warm:" prefix (e.g.
+// "warm:cs-tuner") — from cfg. The warm and two-phase forms built
+// here are cold (no history store); use NewWarmStartStrategy /
+// NewWarm / NewTwoPhaseTuner to attach one.
 func NewStrategy(name string, cfg TunerConfig) (Strategy, error) { return tuner.NewStrategy(name, cfg) }
+
+// KnownStrategy reports whether name resolves to a strategy
+// NewStrategy can build, including "warm:"-prefixed forms.
+func KnownStrategy(name string) bool { return tuner.KnownStrategy(name) }
+
+// NewNamed returns the named strategy under the standard Driver — the
+// by-name counterpart of the NewCD/NewCS/... constructors, covering
+// every name KnownStrategy accepts.
+func NewNamed(name string, cfg TunerConfig) (Tuner, error) { return tuner.NewNamed(name, cfg) }
 
 // NewDriver returns a Driver for cfg; its Run method drives any
 // Strategy against a Transferer.
@@ -434,6 +447,82 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return tuner.LoadCheckpo
 // completed, the final checkpoint was written, and the transfer was
 // left running so a later session can resume it.
 var ErrInterrupted = tuner.ErrInterrupted
+
+// Historical knowledge plane: an append-only store of past transfer
+// outcomes keyed by endpoint identity, dataset size class, and
+// external-load fingerprint, and the strategies that warm-start from
+// it (see DESIGN.md §3d).
+type (
+	// HistoryStore is a crash-safe JSONL store of best-known transfer
+	// outcomes; query it with Lookup, extend it with Add.
+	HistoryStore = history.Store
+	// HistoryKey identifies one operating regime in a HistoryStore:
+	// endpoint identity, dataset size class, external-load class.
+	HistoryKey = history.Key
+	// HistoryRecord is one recorded outcome: the key, the parameter
+	// vector, its observed throughput, and run metadata.
+	HistoryRecord = history.Record
+	// HistoryEntry is a Lookup result: the best-known vector, its
+	// throughput, and the key distance of the match (0 = exact).
+	HistoryEntry = history.Entry
+	// WarmStartStrategy wraps any built-in strategy so its first
+	// proposal is the history store's predicted optimum.
+	WarmStartStrategy = tuner.WarmStartStrategy
+	// TwoPhaseStrategy samples a coarse historical candidate list,
+	// then refines around the winner with a fine compass search.
+	TwoPhaseStrategy = tuner.TwoPhaseStrategy
+)
+
+// ErrHistoryCorrupt wraps OpenHistory errors reporting damaged lines
+// that were skipped; the returned store holds the intact records and
+// remains fully usable.
+var ErrHistoryCorrupt = history.ErrCorrupt
+
+// OpenHistory opens (creating if absent) the transfer-history store at
+// path. Damaged lines — a torn tail from a crash mid-append, or
+// hand-edited garbage — are skipped and reported via an error wrapping
+// ErrHistoryCorrupt; the store is unusable only when it is nil.
+func OpenHistory(path string) (*HistoryStore, error) { return history.Open(path) }
+
+// NewMemHistory returns an in-memory history store (tests, one-shot
+// studies).
+func NewMemHistory() *HistoryStore { return history.NewMemStore() }
+
+// HistorySizeClass buckets a transfer volume in bytes into a history
+// key's size class (log2 of megabytes; -1 for unbounded).
+func HistorySizeClass(bytes float64) int { return history.SizeClass(bytes) }
+
+// HistoryLoadClass buckets an external-load level (e.g. competing
+// streams plus compute jobs) into a history key's load class.
+func HistoryLoadClass(level int) int { return history.LoadClass(level) }
+
+// NewWarmStartStrategy wraps the named inner strategy with a history
+// warm start: a store hit under key makes the inner strategy begin at
+// the predicted optimum. The store may be nil (cold).
+func NewWarmStartStrategy(inner string, cfg TunerConfig, store *HistoryStore, key HistoryKey) (*WarmStartStrategy, error) {
+	return tuner.NewWarmStart(inner, cfg, store, key)
+}
+
+// NewWarm returns the warm-started form of the named strategy under
+// the standard Driver; its checkpoints carry the "warm:<inner>" name
+// and resume like any other run.
+func NewWarm(inner string, cfg TunerConfig, store *HistoryStore, key HistoryKey) (Tuner, error) {
+	return tuner.NewWarm(inner, cfg, store, key)
+}
+
+// NewTwoPhaseTuner returns the two-phase tuner: a coarse pass over
+// history-seeded candidates, then a fine compass search around the
+// coarse winner. The store may be nil (cold candidates).
+func NewTwoPhaseTuner(cfg TunerConfig, store *HistoryStore, key HistoryKey) Tuner {
+	return tuner.NewTwoPhaseTuner(cfg, store, key)
+}
+
+// NewTwoPhaseStrategy returns the two-phase decision kernel itself,
+// for use under a Driver or Fleet. The store may be nil (cold
+// candidates).
+func NewTwoPhaseStrategy(cfg TunerConfig, store *HistoryStore, key HistoryKey) *TwoPhaseStrategy {
+	return tuner.NewTwoPhase(cfg, store, key)
+}
 
 // Observability: the observation plane documented in OBSERVABILITY.md.
 type (
@@ -640,4 +729,23 @@ func ConvergenceTimes(res *TuningResult, frac float64, window int) map[string]fl
 // nm-tuner and default under the Figure 10 varying load.
 func CompareModel(tb Testbed, rc RunConfig) (*TuningResult, error) {
 	return experiment.CompareModel(tb, rc)
+}
+
+type (
+	// WarmStartCell is one (tuner, load) cell of a WarmStartStudy.
+	WarmStartCell = experiment.WarmStartCell
+	// WarmStartResult holds a warm-vs-cold study over a load sweep.
+	WarmStartResult = experiment.WarmStartResult
+)
+
+// WarmStartLoads is the external-load sweep of the warm-start study:
+// no load, then external traffic at 16, 32, and 64 streams.
+func WarmStartLoads() []Load { return experiment.WarmStartLoads() }
+
+// WarmStartStudy measures what the history knowledge plane buys: each
+// named tuner runs cold, records its best epoch, and reruns
+// warm-started on an identically seeded fabric, for every load in the
+// sweep. frac and window parameterize the critical-point detector.
+func WarmStartStudy(tb Testbed, names []string, loads []Load, rc RunConfig, frac float64, window int) (*WarmStartResult, error) {
+	return experiment.WarmStartStudy(tb, names, loads, rc, frac, window)
 }

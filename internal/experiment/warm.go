@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"dstune/internal/history"
+	"dstune/internal/load"
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// WarmStartLoads is the external-load sweep of the warm-start study:
+// no load, then external traffic at 16, 32, and 64 streams.
+func WarmStartLoads() []load.Load {
+	return []load.Load{{}, {Tfr: 16}, {Tfr: 32}, {Tfr: 64}}
+}
+
+// WarmStartCell is one (tuner, load) cell of a warm-start study: a
+// cold run from the Globus defaults, its best epoch recorded into a
+// fresh history store, then a warm run on an identically seeded fabric
+// that starts from the recorded optimum.
+type WarmStartCell struct {
+	Tuner string
+	Load  load.Load
+	// Pred is the historical prediction the warm run started from (the
+	// cold run's best epoch vector).
+	Pred []int
+	// Target is the shared critical-point throughput both runs are
+	// measured against: the better of the two runs' steady values.
+	// Measuring each run against its own steady value would flatter a
+	// cold run stuck on a bad plateau — it "converges" instantly to a
+	// throughput the warm run far exceeds.
+	Target float64
+	// ColdEpochs and WarmEpochs count epochs until the rolling mean
+	// throughput reaches the critical fraction of Target
+	// (EpochsToTarget); a run that never got there within budget
+	// reports its full epoch count.
+	ColdEpochs, WarmEpochs int
+	// ColdBytes and WarmBytes are the integral throughput of each run:
+	// total bytes moved over the shared budget.
+	ColdBytes, WarmBytes float64
+	// Cold and Warm are the full traces.
+	Cold, Warm *tuner.Trace
+}
+
+// WarmStartResult holds a warm-vs-cold study over a load sweep.
+type WarmStartResult struct {
+	Testbed string
+	Cells   []WarmStartCell
+}
+
+// EpochsToCritical is the epoch-index analog of
+// Trace.ConvergenceTime: the index of the first epoch opening a
+// rolling window of `window` epochs whose mean throughput reaches
+// frac of the steady value (the mean of the last `window` epochs). It
+// returns -1 when the trace is shorter than the window or the
+// threshold is never reached. The paper's "time to critical point"
+// divides out the epoch length; counting epochs keeps the comparison
+// exact across runs that share e.
+func EpochsToCritical(tr *tuner.Trace, frac float64, window int) int {
+	return EpochsToTarget(tr, frac*steadyMean(tr, window), window)
+}
+
+// EpochsToTarget returns the index of the first epoch opening a
+// rolling window of `window` epochs whose mean throughput reaches
+// target, or -1 when the trace is shorter than the window or the
+// target is never reached. Unlike EpochsToCritical the reference is
+// explicit, so two runs can be measured against the same bar.
+func EpochsToTarget(tr *tuner.Trace, target float64, window int) int {
+	if window < 1 {
+		window = 1
+	}
+	n := len(tr.Results)
+	if n < window {
+		return -1
+	}
+	for i := 0; i+window <= n; i++ {
+		if windowMean(tr.Results[i:i+window]) >= target {
+			return i
+		}
+	}
+	return -1
+}
+
+// steadyMean is the mean throughput of the trace's last `window`
+// epochs — its steady value; 0 for traces shorter than the window.
+func steadyMean(tr *tuner.Trace, window int) float64 {
+	if window < 1 {
+		window = 1
+	}
+	n := len(tr.Results)
+	if n < window {
+		return 0
+	}
+	return windowMean(tr.Results[n-window:])
+}
+
+func windowMean(rs []tuner.EpochResult) float64 {
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.Report.Throughput
+	}
+	return sum / float64(len(rs))
+}
+
+// integralBytes is the integral of observed throughput over the run:
+// total bytes moved.
+func integralBytes(tr *tuner.Trace) float64 {
+	var bytes float64
+	for _, r := range tr.Results {
+		bytes += r.Report.Bytes
+	}
+	return bytes
+}
+
+// warmKey is the history identity of one study cell: the testbed as
+// endpoint, unbounded volume, and the external-load fingerprint.
+func warmKey(tb Testbed, l load.Load) history.Key {
+	return history.Key{
+		Endpoint:  tb.Name,
+		SizeClass: history.SizeClass(0),
+		LoadClass: history.LoadClass(l.Tfr + l.Cmp),
+	}
+}
+
+// runWarmTuned mirrors runTuned but wraps the named tuner in the
+// warm-start strategy over store, so its first proposal is the
+// store's best-known vector for key.
+func runWarmTuned(tb Testbed, name string, sched load.Schedule, rc RunConfig, store *history.Store, key history.Key) (*tuner.Trace, error) {
+	rc = rc.withDefaults()
+	f, _, err := tb.NewFabric(rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f.SetLoad(sched, nil)
+	tr, err := f.NewTransfer(xfer.TransferConfig{
+		Name:   "warm:" + name,
+		Bytes:  xfer.Unbounded,
+		Policy: xfer.RestartEveryEpoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tn, err := tuner.NewWarm(name, rc.tunerCfg(false), store, key)
+	if err != nil {
+		return nil, err
+	}
+	return tn.Tune(context.Background(), tr)
+}
+
+// WarmStartStudy measures what the knowledge plane buys: for every
+// (tuner, load) cell it runs the named tuner cold from the Globus
+// defaults, records the cold run's best epoch into a fresh in-memory
+// history store, and reruns warm on an identically seeded fabric so
+// the only difference is the starting vector. Cells are independent
+// and run on the worker pool. frac and window parameterize the
+// critical-point detector (EpochsToCritical); the paper-style choice
+// is frac=0.9, window=3.
+func WarmStartStudy(tb Testbed, names []string, loads []load.Load, rc RunConfig, frac float64, window int) (*WarmStartResult, error) {
+	if len(names) == 0 {
+		names = []string{"cs-tuner", "cd-tuner"}
+	}
+	if len(loads) == 0 {
+		loads = WarmStartLoads()
+	}
+	type cell struct {
+		name string
+		l    load.Load
+	}
+	cells := make([]cell, 0, len(names)*len(loads))
+	for _, name := range names {
+		for _, l := range loads {
+			cells = append(cells, cell{name: name, l: l})
+		}
+	}
+	out := make([]WarmStartCell, len(cells))
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		sched := load.Constant(c.l)
+		cold, err := runTuned(tb, c.name, sched, rc, false)
+		if err != nil {
+			return fmt.Errorf("cold %s under %s: %w", c.name, c.l, err)
+		}
+		x, tput, ok := cold.BestEpoch()
+		if !ok {
+			return fmt.Errorf("cold %s under %s produced no usable epoch", c.name, c.l)
+		}
+		store := history.NewMemStore()
+		key := warmKey(tb, c.l)
+		if err := store.Add(history.Record{
+			Key: key, X: x, Throughput: tput,
+			Tuner: c.name, Epochs: len(cold.Results),
+		}); err != nil {
+			return err
+		}
+		warm, err := runWarmTuned(tb, c.name, sched, rc, store, key)
+		if err != nil {
+			return fmt.Errorf("warm %s under %s: %w", c.name, c.l, err)
+		}
+		// Both runs are judged against the same bar — the better of
+		// the two steady values — and a run that never reaches it
+		// within budget counts as taking every epoch it had.
+		target := max(steadyMean(cold, window), steadyMean(warm, window))
+		atTarget := func(tr *tuner.Trace) int {
+			if e := EpochsToTarget(tr, frac*target, window); e >= 0 {
+				return e
+			}
+			return len(tr.Results)
+		}
+		out[i] = WarmStartCell{
+			Tuner:      c.name,
+			Load:       c.l,
+			Pred:       x,
+			Target:     target,
+			ColdEpochs: atTarget(cold),
+			WarmEpochs: atTarget(warm),
+			ColdBytes:  integralBytes(cold),
+			WarmBytes:  integralBytes(warm),
+			Cold:       cold,
+			Warm:       warm,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WarmStartResult{Testbed: tb.Name, Cells: out}, nil
+}
+
+// Report renders the study as an aligned text table: one row per
+// cell with epochs-to-critical and integral throughput, cold vs warm.
+func (r *WarmStartResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "warm-start study on %s\n", r.Testbed)
+	fmt.Fprintf(&b, "%-10s %-12s %-10s %12s %12s %14s %14s\n",
+		"tuner", "load", "pred", "cold epochs", "warm epochs", "cold GB", "warm GB")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-10s %-12s %-10s %12d %12d %14.2f %14.2f\n",
+			c.Tuner, c.Load.String(), fmt.Sprint(c.Pred),
+			c.ColdEpochs, c.WarmEpochs,
+			c.ColdBytes/1e9, c.WarmBytes/1e9)
+	}
+	return b.String()
+}

@@ -1,0 +1,24 @@
+// Package fsx holds small filesystem durability helpers shared by the
+// durable writers in the stack (tuner.FileCheckpoint, history.Store).
+package fsx
+
+import "os"
+
+// SyncDir fsyncs the directory at dir. An atomic create-rename write
+// is only durable once the directory entry itself is synced: fsyncing
+// the file alone persists its contents, but a crash can still lose the
+// rename (or a newly created name) until the containing directory's
+// metadata reaches disk. Callers invoke SyncDir after the rename (or
+// after creating a file that must survive a crash).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

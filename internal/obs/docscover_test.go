@@ -32,6 +32,9 @@ func TestObservabilityDocCoverage(t *testing.T) {
 	s.CheckpointWritten(5, 1, 0.001)
 	s.StripeDialed(5, 1)
 	s.StripeEvicted(5, "x")
+	s.WarmStart(0, []int{14}, true)
+	s.WarmStart(0, nil, false)
+	s.HistoryRecorded()
 	o.ServerMetrics().Conn()
 	o.ServerMetrics().AddBytes(1)
 	o.ServerMetrics().SetTokens(1)

@@ -42,6 +42,10 @@ const (
 	// EventFaultInjected marks the faultnet fabric injecting a dial
 	// refusal or connection reset.
 	EventFaultInjected EventType = "FaultInjected"
+	// EventWarmStart marks a strategy consulting the history knowledge
+	// plane at construction: Detail is "hit" (X carries the adopted
+	// prediction) or "miss" (the run cold-starts).
+	EventWarmStart EventType = "WarmStart"
 )
 
 // EventTypes lists every event type the stack can emit, in a stable
@@ -50,7 +54,7 @@ func EventTypes() []EventType {
 	return []EventType{
 		EventEpochStart, EventEpochEnd, EventPropose, EventObserve,
 		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
-		EventCheckpointWritten, EventFaultInjected,
+		EventCheckpointWritten, EventFaultInjected, EventWarmStart,
 	}
 }
 

@@ -123,6 +123,15 @@ const (
 	// MetricServerExpired counts transfer tokens expired by the
 	// gridftpd janitor.
 	MetricServerExpired = "gridftpd_expired_tokens_total"
+	// MetricHistoryHits counts history-store lookups that warm-started
+	// a session with a prediction.
+	MetricHistoryHits = "dstune_history_hits_total"
+	// MetricHistoryMisses counts history-store lookups that found no
+	// usable prediction (the session cold-started).
+	MetricHistoryMisses = "dstune_history_misses_total"
+	// MetricHistoryRecords counts tuning outcomes recorded into the
+	// history store.
+	MetricHistoryRecords = "dstune_history_records_total"
 )
 
 // EpochStats is the per-epoch observation a SessionObs ingests. It
@@ -243,6 +252,9 @@ func (o *Observer) Session(id string) *SessionObs {
 		retriggers: o.reg.Counter(MetricRetriggers, "Epsilon-monitor search restarts.", lbl),
 		ckWrites:   o.reg.Counter(MetricCheckpointWrites, "Durable checkpoint writes.", lbl),
 		evictions:  o.reg.Counter(MetricStripeEvictions, "Dead stripes evicted from the warm pool.", lbl),
+		histHits:   o.reg.Counter(MetricHistoryHits, "History lookups that warm-started the session.", lbl),
+		histMisses: o.reg.Counter(MetricHistoryMisses, "History lookups without a usable prediction.", lbl),
+		histRecs:   o.reg.Counter(MetricHistoryRecords, "Tuning outcomes recorded into the history store.", lbl),
 		throughput: o.reg.Gauge(MetricThroughput, "Last epoch mean throughput in bytes/second.", lbl),
 		bestCase:   o.reg.Gauge(MetricBestCase, "Last epoch dead-time-compensated throughput in bytes/second.", lbl),
 		nc:         o.reg.Gauge(MetricParamNC, "Current concurrency (nc) parameter.", lbl),
@@ -274,6 +286,7 @@ type SessionObs struct {
 
 	epochs, bytes, dials, reused, retries, degraded *Counter
 	transient, retriggers, ckWrites, evictions      *Counter
+	histHits, histMisses, histRecs                  *Counter
 	throughput, bestCase, nc, np, budget, pool      *Gauge
 	deadTime, ckSeconds                             *Histogram
 
@@ -437,6 +450,35 @@ func (s *SessionObs) CheckpointWritten(t float64, epochs int, seconds float64) {
 	s.st.Checkpoints++
 	s.mu.Unlock()
 	s.o.Event(Event{T: t, Type: EventCheckpointWritten, Session: s.id, Epoch: epochs})
+}
+
+// WarmStart records a strategy consulting the history knowledge plane
+// at construction (transfer clock t, normally 0): on a hit, x is the
+// adopted prediction; on a miss, x is nil and the session cold-starts.
+func (s *SessionObs) WarmStart(t float64, x []int, hit bool) {
+	if s == nil {
+		return
+	}
+	detail := "miss"
+	if hit {
+		s.histHits.Inc()
+		detail = "hit"
+	} else {
+		s.histMisses.Inc()
+	}
+	s.o.Event(Event{T: t, Type: EventWarmStart, Session: s.id,
+		X: append([]int(nil), x...), Detail: detail})
+}
+
+// HistoryRecorded counts a tuning outcome recorded into the history
+// store. It moves metrics only — no event — because recording happens
+// at run teardown, where an event's timestamp would be wall-clock
+// noise in otherwise deterministic traces.
+func (s *SessionObs) HistoryRecorded() {
+	if s == nil {
+		return
+	}
+	s.histRecs.Inc()
 }
 
 // StripeDialed records the warm data plane establishing a new stripe

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dstune/internal/fsx"
 	"dstune/internal/xfer"
 )
 
@@ -118,7 +119,10 @@ func (f *FileCheckpoint) Save(ck *Checkpoint) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	// The rename is only durable once the directory entry is synced;
+	// without it a crash can roll the file back to the previous
+	// checkpoint — or to nothing — despite the fsynced temp file.
+	return fsx.SyncDir(filepath.Dir(f.path))
 }
 
 // LoadCheckpoint reads and validates a checkpoint file written by

@@ -11,7 +11,10 @@ import (
 
 // strategyNames lists every built-in strategy.
 func strategyNames() []string {
-	return []string{"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model"}
+	return []string{
+		"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
+		"two-phase", "warm:cs-tuner", "warm:cd-tuner",
+	}
 }
 
 // countingStrategy wraps a Strategy and counts the protocol calls, so

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dstune/internal/history"
 	"dstune/internal/ivec"
 	"dstune/internal/obs"
 	"dstune/internal/xfer"
@@ -29,6 +30,11 @@ type FleetConfig struct {
 	// registers under its stable ID, labels its metrics with it, and
 	// appears in the /status document. Nil disables observation.
 	Obs *obs.Observer
+	// History, when non-nil, is the shared knowledge plane: every
+	// session with a non-zero HistoryKey records its best observed
+	// epoch under that key when it ends cleanly. Sessions must not
+	// share a key (Run rejects duplicates).
+	History *history.Store
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -75,6 +81,12 @@ type FleetSession struct {
 	// Seed is recorded in the session's checkpoints so a resumed
 	// single-session run reconstructs the same strategy.
 	Seed uint64
+	// HistoryKey, when non-zero, is the session's identity in the
+	// fleet's shared history store: a clean end records the session's
+	// best epoch under it. Keys must be unique across the fleet —
+	// deduplicated session IDs ("bulk", "bulk-2") must never alias one
+	// key, or one session's record would overwrite another's identity.
+	HistoryKey history.Key
 }
 
 // validate reports whether the session is usable.
@@ -210,10 +222,29 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 	}
 	states := make([]*fleetSession, len(f.sessions))
 	ids := make(map[string]bool, len(f.sessions))
+	// Deduplicated session IDs guarantee distinct metrics labels, but
+	// durable identities are configured before deduplication runs — so
+	// two sessions could still point at one checkpoint file or one
+	// history key. Both would silently corrupt a resume (or a record),
+	// so they are rejected here.
+	ckPaths := make(map[string]string)
+	histKeys := make(map[string]string)
 	for i, spec := range f.sessions {
 		id := sessionID(spec, ids)
 		if err := spec.validate(); err != nil {
 			return nil, fmt.Errorf("tuner: fleet session %q: %w", id, err)
+		}
+		if fc, ok := spec.Checkpoint.(*FileCheckpoint); ok {
+			if prev, dup := ckPaths[fc.Path()]; dup {
+				return nil, fmt.Errorf("tuner: fleet sessions %q and %q share checkpoint file %s", prev, id, fc.Path())
+			}
+			ckPaths[fc.Path()] = id
+		}
+		if k := spec.HistoryKey; !k.IsZero() {
+			if prev, dup := histKeys[k.String()]; dup {
+				return nil, fmt.Errorf("tuner: fleet sessions %q and %q share history key %s", prev, id, k)
+			}
+			histKeys[k.String()] = id
 		}
 		if spec.Name == "" {
 			spec.Name = spec.Strategy.Name()
@@ -466,12 +497,36 @@ func (s *fleetSession) checkpoint(jobs []*fleetJob, transient bool) error {
 	return nil
 }
 
-// finish ends the session and stops its transfers.
+// finish ends the session and stops its transfers. A clean end folds
+// the session's best epoch into the fleet's history store.
 func (s *fleetSession) finish(err error) {
 	s.done = true
 	s.err = err
+	if err == nil {
+		s.recordHistory()
+	}
 	s.obs.Finish(err)
 	for _, t := range s.spec.Transfers {
 		t.Stop()
+	}
+}
+
+// recordHistory writes the session's best observed epoch to the shared
+// history store under the session's key. No-op without a store, a key,
+// a single transfer, or any observed epoch.
+func (s *fleetSession) recordHistory() {
+	if s.cfg.History == nil || s.spec.HistoryKey.IsZero() || len(s.traces) != 1 {
+		return
+	}
+	x, tp, ok := s.traces[0].BestEpoch()
+	if !ok {
+		return
+	}
+	rec := history.Record{
+		Key: s.spec.HistoryKey, X: x, Throughput: tp,
+		Tuner: s.spec.Strategy.Name(), Epochs: len(s.traces[0].Results),
+	}
+	if s.cfg.History.Add(rec) == nil {
+		s.obs.HistoryRecorded()
 	}
 }

@@ -1,0 +1,47 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+
+	"dstune/internal/xfer"
+)
+
+// namedTuner drives any registered strategy under the shared Driver.
+type namedTuner struct {
+	name string
+	cfg  Config
+}
+
+// NewNamed returns a Tuner for any strategy NewStrategy knows —
+// including "two-phase" and the "warm:<inner>" forms, which construct
+// cold (no history store; a resumed warm checkpoint carries its
+// prediction in its serialized state). Dedicated constructors
+// (NewStatic, NewCS, NewWarm, …) remain the explicit forms; NewNamed
+// is for call sites that hold only a name, such as a -resume path
+// adopting the checkpoint's tuner.
+func NewNamed(name string, cfg Config) (Tuner, error) {
+	if !KnownStrategy(name) {
+		return nil, fmt.Errorf("tuner: unknown strategy %q", name)
+	}
+	return &namedTuner{name: canonicalName(name), cfg: cfg}, nil
+}
+
+// Name implements Tuner.
+func (n *namedTuner) Name() string { return n.name }
+
+// Tune implements Tuner.
+func (n *namedTuner) Tune(ctx context.Context, t xfer.Transferer) (*Trace, error) {
+	cfg := n.cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ck := cfg.Resume; ck != nil {
+		cfg.Seed = ck.Seed
+	}
+	s, err := NewStrategy(n.name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewDriver(cfg).Run(ctx, s, t)
+}

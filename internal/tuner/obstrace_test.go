@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"dstune/internal/history"
 	"dstune/internal/obs"
 )
 
@@ -30,6 +31,22 @@ func TestGoldenEventTrace(t *testing.T) {
 		// The model tuner's hold phase retriggers the ε-monitor on this
 		// world, so its fixture locks the RetriggerEpsilon event too.
 		{"model", func(c Config) Tuner { return NewModel(c) }},
+		// The warm case runs cs-tuner over a preloaded memory store, so
+		// its fixture locks the leading WarmStart hit event and the
+		// prediction-first proposal. The label avoids ':' because it is
+		// spliced into artifact and fixture filenames.
+		{"warm-cs-tuner", func(c Config) Tuner {
+			key := history.Key{Endpoint: "golden", SizeClass: -1, LoadClass: 0}
+			store := history.NewMemStore()
+			if err := store.Add(history.Record{Key: key, X: []int{14}, Throughput: 3e8, Tuner: "cs-tuner", Epochs: 12}); err != nil {
+				panic(err)
+			}
+			w, err := NewWarm("cs-tuner", c, store, key)
+			if err != nil {
+				panic(err)
+			}
+			return w
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.tuner, func(t *testing.T) {

@@ -3,7 +3,9 @@ package tuner
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
+	"dstune/internal/history"
 	"dstune/internal/ivec"
 	"dstune/internal/xfer"
 )
@@ -44,9 +46,15 @@ type Strategy interface {
 }
 
 // NewStrategy builds the named strategy — one of "default",
-// "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model" —
-// from cfg.
+// "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
+// "two-phase", or "warm:<inner>" — from cfg. The prefixed and
+// two-phase forms construct cold (no history store): a checkpointed
+// warm run resumes through this constructor by name alone, taking its
+// predicted start from the serialized state rather than a store.
 func NewStrategy(name string, cfg Config) (Strategy, error) {
+	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
+		return NewWarmStart(inner, cfg, nil, history.Key{})
+	}
 	switch name {
 	case "default", "static":
 		return NewStaticStrategy(cfg), nil
@@ -62,8 +70,25 @@ func NewStrategy(name string, cfg Config) (Strategy, error) {
 		return NewHeur2Strategy(cfg), nil
 	case "model":
 		return NewModelStrategy(cfg), nil
+	case "two-phase":
+		return NewTwoPhaseStrategy(cfg), nil
 	}
 	return nil, fmt.Errorf("tuner: unknown strategy %q", name)
+}
+
+// KnownStrategy reports whether name resolves to a built-in strategy,
+// including the "warm:<inner>" prefixed form (warm wrapping does not
+// nest).
+func KnownStrategy(name string) bool {
+	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
+		return !strings.HasPrefix(inner, "warm:") && KnownStrategy(inner)
+	}
+	switch name {
+	case "default", "static", "cd-tuner", "cs-tuner", "nm-tuner",
+		"heur1", "heur2", "model", "two-phase":
+		return true
+	}
+	return false
 }
 
 // fitnessOf returns the objective value of an epoch under the

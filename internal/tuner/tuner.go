@@ -328,6 +328,23 @@ func (tr *Trace) ConvergenceTime(frac float64, window int) float64 {
 	return -1
 }
 
+// BestEpoch returns the vector and observed throughput of the
+// highest-throughput epoch, the datum the history knowledge plane
+// records after a run. Epochs without positive throughput (transient
+// failures, empty epochs) never win; ok is false when no epoch
+// qualifies.
+func (tr *Trace) BestEpoch() (x []int, throughput float64, ok bool) {
+	for _, r := range tr.Results {
+		if r.Report.Throughput > throughput {
+			x, throughput, ok = r.X, r.Report.Throughput, true
+		}
+	}
+	if ok {
+		x = append([]int(nil), x...)
+	}
+	return x, throughput, ok
+}
+
 // FinalX returns the tuned vector of the last epoch, or nil when no
 // epoch ran.
 func (tr *Trace) FinalX() []int {
