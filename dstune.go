@@ -65,6 +65,7 @@ import (
 	"dstune/internal/netem"
 	"dstune/internal/obs"
 	"dstune/internal/report"
+	"dstune/internal/service"
 	"dstune/internal/sim"
 	"dstune/internal/trace"
 	"dstune/internal/tuner"
@@ -749,3 +750,63 @@ func WarmStartLoads() []Load { return experiment.WarmStartLoads() }
 func WarmStartStudy(tb Testbed, names []string, loads []Load, rc RunConfig, frac float64, window int) (*WarmStartResult, error) {
 	return experiment.WarmStartStudy(tb, names, loads, rc, frac, window)
 }
+
+// The service plane: a long-running, crash-safe, multi-tenant tuning
+// daemon (cmd/dstuned) supervising many concurrent sessions across
+// worker shards.
+type (
+	// ServiceConfig configures a tuning daemon supervisor: state
+	// directory, shard count, admission limits, and wiring.
+	ServiceConfig = service.Config
+	// ServiceLimits bounds admission: fleet-wide active/queued caps,
+	// per-tenant quotas, and the tenant transient-fault budget.
+	ServiceLimits = service.Limits
+	// Supervisor owns the daemon's sessions: admission, sharded
+	// execution, journaling, checkpointing, and crash re-adoption.
+	Supervisor = service.Supervisor
+	// JobSpec is one tuning job as submitted over the control API.
+	JobSpec = service.JobSpec
+	// JobStatus is the control API's view of one job.
+	JobStatus = service.JobStatus
+	// JobState labels where a job is in its lifecycle.
+	JobState = service.JobState
+	// RejectError reports an admission refusal with its reason and a
+	// suggested retry delay.
+	RejectError = service.RejectError
+	// AdoptionRecord describes one in-flight session re-adopted from
+	// the journal after a crash.
+	AdoptionRecord = service.AdoptionRecord
+	// ServiceTransferFactory overrides how the supervisor builds the
+	// data plane for a job (tests inject in-memory transfers here).
+	ServiceTransferFactory = service.TransferFactory
+)
+
+// Job lifecycle states reported by the control API.
+const (
+	// JobQueued: accepted and journaled, waiting for a shard slot.
+	JobQueued = service.JobQueued
+	// JobRunning: stepping under a shard's supervision loop.
+	JobRunning = service.JobRunning
+	// JobDone: finished cleanly; journal debt cleared.
+	JobDone = service.JobDone
+	// JobFailed: ended with a fatal error.
+	JobFailed = service.JobFailed
+	// JobCancelled: cancelled by the operator; checkpoint retained.
+	JobCancelled = service.JobCancelled
+	// JobEvicted: removed by the tenant fault-budget breaker.
+	JobEvicted = service.JobEvicted
+	// JobInterrupted: the daemon died with the job in flight; the next
+	// incarnation re-adopts it.
+	JobInterrupted = service.JobInterrupted
+)
+
+// ErrJobNotFound reports a control-API lookup of an unknown job ID.
+var ErrJobNotFound = service.ErrNotFound
+
+// NewSupervisor opens (or re-opens) a daemon state directory, re-adopts
+// every journaled in-flight job, and returns the supervisor ready for
+// Start.
+func NewSupervisor(cfg ServiceConfig) (*Supervisor, error) { return service.New(cfg) }
+
+// DecodeJobSpec parses and validates one control-API job submission.
+func DecodeJobSpec(data []byte) (JobSpec, error) { return service.DecodeJobSpec(data) }

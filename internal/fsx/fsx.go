@@ -1,8 +1,42 @@
 // Package fsx holds small filesystem durability helpers shared by the
-// durable writers in the stack (tuner.FileCheckpoint, history.Store).
+// durable writers in the stack (tuner.FileCheckpoint, history.Store,
+// the dstuned job journal).
 package fsx
 
-import "os"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic durably replaces the file at path with data: it writes a
+// temporary file in the same directory, fsyncs it, renames it over the
+// target, and fsyncs the directory — so path always holds either the
+// previous or the new complete contents, even across a crash
+// mid-write.
+func WriteAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	var cherr error
+	if werr == nil {
+		cherr = tmp.Chmod(perm)
+	}
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cherr, serr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return SyncDir(dir)
+}
 
 // SyncDir fsyncs the directory at dir. An atomic create-rename write
 // is only durable once the directory entry itself is synced: fsyncing

@@ -12,7 +12,10 @@
 // created, so a completed Add survives a crash; a torn final line from
 // a crash mid-append is skipped on the next Open, reported through
 // ErrCorrupt, and truncated away (write-ahead-log recovery) so later
-// appends stay line-framed.
+// appends stay line-framed. The file is opened O_APPEND and every
+// append (and Open's recovery) holds an exclusive advisory flock, so
+// independent Stores sharing one file — a daemon and a CLI, say —
+// serialize their writes instead of interleaving torn records.
 package history
 
 import (
@@ -158,8 +161,15 @@ const maxLine = 1 << 20
 // error counting them. A torn (newline-less) tail is additionally
 // truncated away, write-ahead-log style, so appends after recovery
 // stay line-framed. Only a nil *Store result signals failure.
+//
+// The file is opened in append mode and every append (and Open's
+// recovery scan) runs under an exclusive advisory flock, so multiple
+// Stores on one file — a daemon and a CLI sharing one knowledge base —
+// serialize their writes and can never interleave torn records. Each
+// Store still only serves the records it has itself read or written;
+// the lock guarantees framing and durability, not a shared cache.
 func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +177,14 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	// The recovery scan reads, decides, and truncates under the lock,
+	// so it can never race another store's in-flight append (and
+	// mistake its half-written line for a torn tail).
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer unlockFile(f)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		f.Close()
@@ -196,11 +214,10 @@ func Open(path string) (*Store, error) {
 		}
 		s.recs = append(s.recs, rec)
 	}
+	// O_APPEND positions every write at the current end of file, so no
+	// seek is needed after the truncate — and a later append can never
+	// land inside (or before) another store's record.
 	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(int64(valid), 0); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -230,11 +247,24 @@ func (s *Store) Add(rec Record) error {
 			return err
 		}
 		line = append(line, '\n')
-		if _, err := s.f.Write(line); err != nil {
-			return fmt.Errorf("history: append: %w", err)
+		// The flock serializes this append against every other Store
+		// on the file (in this process or another); O_APPEND makes the
+		// write land at the true end of file regardless of what they
+		// appended since our Open.
+		if err := lockFile(s.f); err != nil {
+			return fmt.Errorf("history: append lock: %w", err)
 		}
-		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("history: append sync: %w", err)
+		_, werr := s.f.Write(line)
+		serr := s.f.Sync()
+		uerr := unlockFile(s.f)
+		if werr != nil {
+			return fmt.Errorf("history: append: %w", werr)
+		}
+		if serr != nil {
+			return fmt.Errorf("history: append sync: %w", serr)
+		}
+		if uerr != nil {
+			return fmt.Errorf("history: append unlock: %w", uerr)
 		}
 	}
 	s.recs = append(s.recs, rec)

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package history
+
+import "os"
+
+// lockFile is a no-op on platforms without flock: appends fall back to
+// the in-process mutex only, and cross-process writers are not
+// serialized. O_APPEND still keeps concurrent single-line appends from
+// overwriting one another on most filesystems.
+func lockFile(*os.File) error { return nil }
+
+// unlockFile is the no-op counterpart of lockFile.
+func unlockFile(*os.File) error { return nil }

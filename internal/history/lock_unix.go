@@ -1,0 +1,28 @@
+//go:build unix
+
+package history
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on f, blocking until it
+// is granted. flock locks belong to the open file description, so two
+// Stores contend even when they live in one process (each Open has its
+// own description); across processes a daemon and a CLI sharing one
+// store serialize the same way. EINTR is retried — flock has no
+// deadline and Go's signal handling can interrupt it.
+func lockFile(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// unlockFile releases the advisory lock taken by lockFile.
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

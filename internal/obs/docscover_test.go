@@ -40,6 +40,19 @@ func TestObservabilityDocCoverage(t *testing.T) {
 	o.ServerMetrics().SetTokens(1)
 	o.ServerMetrics().Expired(1)
 	o.FaultInjected(FaultReset, "x")
+	d := o.Daemon()
+	d.Submitted()
+	d.Rejected("queue-full")
+	d.JobAdmitted("job-1", "tenant-a")
+	d.JobAdopted("job-1", 3)
+	d.JobEvicted("job-1", "fault-budget")
+	d.JobDone(nil, false)
+	d.SetQueueDepth(1)
+	d.SetActive(1)
+	d.SetShardSessions("0", 1)
+	d.RoundObserved("0", 0.01)
+	d.SetTenantActive("tenant-a", 1)
+	d.TenantFaults("tenant-a", 1)
 
 	for _, name := range o.Registry().Names() {
 		if !strings.Contains(text, name) {

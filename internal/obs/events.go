@@ -46,6 +46,18 @@ const (
 	// plane at construction: Detail is "hit" (X carries the adopted
 	// prediction) or "miss" (the run cold-starts).
 	EventWarmStart EventType = "WarmStart"
+	// EventJobAdmitted marks the dstuned daemon accepting a tuning job
+	// past admission control, after its journal entry is durable.
+	// Session is the job ID; Detail carries the tenant.
+	EventJobAdmitted EventType = "JobAdmitted"
+	// EventJobAdopted marks a restarted daemon re-adopting a journaled
+	// in-flight job mid-trajectory. Session is the job ID; Epoch is
+	// the number of checkpointed epochs the job resumes from.
+	EventJobAdopted EventType = "JobAdopted"
+	// EventJobEvicted marks the daemon force-ending a job — an
+	// exhausted per-tenant fault budget, typically. Session is the
+	// job ID; Detail carries the reason.
+	EventJobEvicted EventType = "JobEvicted"
 )
 
 // EventTypes lists every event type the stack can emit, in a stable
@@ -55,6 +67,7 @@ func EventTypes() []EventType {
 		EventEpochStart, EventEpochEnd, EventPropose, EventObserve,
 		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
 		EventCheckpointWritten, EventFaultInjected, EventWarmStart,
+		EventJobAdmitted, EventJobAdopted, EventJobEvicted,
 	}
 }
 

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecodeJobSpec hammers the control API's parser with hostile
+// input. The contract: DecodeJobSpec never panics, and anything it
+// rejects carries an error while anything it accepts is a fully
+// validated, runnable spec — there is no partially-usable middle
+// ground a caller could journal by mistake.
+func FuzzDecodeJobSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`"job"`,
+		`{"id": "alpha", "bytes": 1e9}`,
+		`{"id": "alpha", "budget": 60}`,
+		`{"id": "../../etc/passwd", "bytes": 1}`,
+		"{\"id\": \"a\x00b\", \"bytes\": 1}",
+		`{"tuner": "warm:cs-tuner", "bytes": 1e9, "tenant": "t1"}`,
+		`{"bytes": 1e308, "epoch": 1e308, "budget": 1e308}`,
+		`{"bytes": "NaN"}`,
+		`{"np": -1, "bytes": 1}`,
+		`{"max_nc": 99999999, "bytes": 1}`,
+		`{"dial_fail_prob": 0.5, "bytes": 1}`,
+		`{"addr": "127.0.0.1:0", "dial_fail_prob": 0.5, "bytes": 1}`,
+		`{"unknown": true, "bytes": 1}`,
+		`{"bytes": 1}{"bytes": 2}`,
+		`{"id": "` + strings.Repeat("x", 100) + `", "bytes": 1}`,
+		strings.Repeat(`{"id":`, 1000),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be self-consistently valid — Validate is
+		// the same gate Submit applies before journaling.
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("DecodeJobSpec accepted %q but Validate rejects it: %v", data, verr)
+		}
+		// And their names must be safe to become filenames.
+		for _, name := range []string{spec.ID, spec.Tenant} {
+			if strings.ContainsAny(name, "/\x00") || name == "." || name == ".." {
+				t.Fatalf("accepted unsafe name %q from %q", name, data)
+			}
+			if !utf8.ValidString(name) {
+				t.Fatalf("accepted non-UTF-8 name %q from %q", name, data)
+			}
+		}
+		if spec.Bytes == 0 && spec.Budget == 0 {
+			t.Fatalf("accepted non-terminating spec from %q", data)
+		}
+	})
+}

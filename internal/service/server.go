@@ -1,0 +1,126 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the daemon's control-plane HTTP handler:
+//
+//	POST   /jobs       submit a JobSpec -> 201 + JobStatus
+//	GET    /jobs       list every job   -> 200 + {"jobs": [...]}
+//	GET    /jobs/{id}  one job          -> 200 + JobStatus
+//	DELETE /jobs/{id}  graceful cancel  -> 200 + JobStatus
+//
+// plus the observation plane's endpoints (/metrics, /status,
+// /debug/...) when the Supervisor has an Observer. Submissions are
+// rejected with 400 for malformed or invalid specs (never journaled),
+// 409 for duplicate IDs, 429 + Retry-After under backpressure or
+// quota, and 503 while draining.
+func (sv *Supervisor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", sv.handleJobs)
+	mux.HandleFunc("/jobs/", sv.handleJob)
+	mux.Handle("/", sv.obs.Handler())
+	return mux
+}
+
+// apiError is the control API's error body.
+type apiError struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response write failure is the client's problem
+}
+
+// writeError writes an apiError with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// handleJobs serves POST /jobs (submit) and GET /jobs (list).
+func (sv *Supervisor) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "service: reading body: "+err.Error())
+			return
+		}
+		spec, err := DecodeJobSpec(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := sv.Submit(spec)
+		if err != nil {
+			var rej *RejectError
+			switch {
+			case errors.As(err, &rej):
+				status := http.StatusTooManyRequests
+				switch rej.Reason {
+				case "duplicate":
+					status = http.StatusConflict
+				case "draining":
+					status = http.StatusServiceUnavailable
+				}
+				if rej.RetryAfter > 0 {
+					secs := int(rej.RetryAfter.Seconds())
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(secs))
+				}
+				writeError(w, status, err.Error())
+			default:
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{Jobs: sv.Jobs()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "service: use POST or GET")
+	}
+}
+
+// handleJob serves GET and DELETE on /jobs/{id}.
+func (sv *Supervisor) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "service: no such job")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		st, err := sv.Job(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodDelete:
+		st, err := sv.Cancel(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "service: use GET or DELETE")
+	}
+}

@@ -1,0 +1,622 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dstune/internal/tuner"
+	"dstune/internal/xfer"
+)
+
+// memTransfer is a synthetic in-memory transfer with a virtual clock:
+// each Run moves rate(params)*epoch bytes instantly (plus an optional
+// real-time delay so tests can keep jobs in flight). It implements
+// Snapshotter, so the service checkpoints and resumes it like any
+// production transfer: a resumed incarnation is rebuilt over the
+// checkpoint's remaining bytes, exactly as the simulation fabric path
+// does.
+type memTransfer struct {
+	mu        sync.Mutex
+	total     float64 // -1 = unbounded
+	acked     float64
+	clock     float64
+	rate      func(p xfer.Params) float64
+	delay     time.Duration
+	failEvery int // every Nth run fails transiently
+	failAfter int // run number at which a fatal error fires
+	runs      int
+	stopped   bool
+}
+
+func (m *memTransfer) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Report, error) {
+	if m.delay > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(m.delay):
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return xfer.Report{}, xfer.ErrStopped
+	}
+	start := m.clock
+	if err := ctx.Err(); err != nil {
+		return xfer.Report{Params: p, Start: start, End: start}, err
+	}
+	m.runs++
+	if m.failAfter > 0 && m.runs >= m.failAfter {
+		return xfer.Report{}, errors.New("injected fatal failure")
+	}
+	if m.failEvery > 0 && m.runs%m.failEvery == 0 {
+		m.clock += epoch
+		return xfer.Report{Params: p, Start: start, End: m.clock}, xfer.Transient(errors.New("injected transient failure"))
+	}
+	tput := m.rate(p)
+	moved := tput * epoch
+	dur := epoch
+	if m.total >= 0 {
+		if rem := m.total - m.acked; moved >= rem {
+			moved = rem
+			dur = rem / tput
+			if dur <= 0 {
+				dur = 1e-9
+			}
+		}
+	}
+	m.acked += moved
+	m.clock += dur
+	return xfer.Report{
+		Params:     p,
+		Start:      start,
+		End:        m.clock,
+		Bytes:      moved,
+		Throughput: moved / dur,
+		BestCase:   moved / dur,
+		Done:       m.total >= 0 && m.acked >= m.total-1e-9,
+	}, nil
+}
+
+func (m *memTransfer) Remaining() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.total < 0 {
+		return math.Inf(1)
+	}
+	return m.total - m.acked
+}
+
+func (m *memTransfer) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+func (m *memTransfer) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+}
+
+// Snapshot implements xfer.Snapshotter.
+func (m *memTransfer) Snapshot() xfer.TransferState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rem := -1.0
+	if m.total >= 0 {
+		rem = m.total - m.acked
+	}
+	return xfer.TransferState{Total: m.total, Acked: m.acked, Remaining: rem, Clock: m.clock}
+}
+
+// climb is the default synthetic objective: throughput grows with the
+// stream count up to a knee, so the tuners have a surface to search.
+func climb(p xfer.Params) float64 {
+	s := p.Streams()
+	if s > 64 {
+		s = 64
+	}
+	return 1e6 * float64(s)
+}
+
+// memFactory builds a TransferFactory over memTransfer. mutate, when
+// non-nil, adjusts each fresh transfer (fault injection) before use.
+func memFactory(delay time.Duration, mutate func(id string, m *memTransfer)) TransferFactory {
+	return func(id string, spec JobSpec, resume *tuner.Checkpoint) (xfer.Transferer, error) {
+		total := -1.0
+		if spec.Bytes > 0 {
+			total = spec.Bytes
+		}
+		if resume != nil {
+			// Like the simulation path: a rebuilt transfer covers
+			// exactly the checkpoint's remaining volume.
+			total = resume.Transfer.Remaining
+		}
+		m := &memTransfer{total: total, rate: climb, delay: delay}
+		if mutate != nil {
+			mutate(id, m)
+		}
+		return m, nil
+	}
+}
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// startSupervisor builds and starts a Supervisor over a temp state dir.
+func startSupervisor(t *testing.T, cfg Config) (*Supervisor, context.CancelFunc) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	sv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sv.Start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		sv.Wait()
+	})
+	return sv, cancel
+}
+
+// postJob submits spec over the HTTP API and returns the response.
+func postJob(t *testing.T, srv *httptest.Server, spec any) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+// getJob fetches one job's status over the HTTP API.
+func getJob(t *testing.T, srv *httptest.Server, id string) (int, JobStatus) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// TestJobLifecycleHTTP drives one job through the full control API:
+// submit, watch it run, and see it finish with exact byte accounting.
+func TestJobLifecycleHTTP(t *testing.T) {
+	sv, _ := startSupervisor(t, Config{Shards: 2, NewTransfer: memFactory(0, nil)})
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	const volume = 5e8
+	resp, st := postJob(t, srv, JobSpec{ID: "alpha", Bytes: volume, Epoch: 1, MaxNC: 32})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: got %d, want 201", resp.StatusCode)
+	}
+	if st.ID != "alpha" || st.State != JobQueued {
+		t.Fatalf("submit status = %+v", st)
+	}
+	waitFor(t, 10*time.Second, "job alpha to finish", func() bool {
+		_, st := getJob(t, srv, "alpha")
+		return st.State == JobDone
+	})
+	_, st = getJob(t, srv, "alpha")
+	if st.Epochs == 0 || math.Abs(st.Bytes-volume) > 1 {
+		t.Fatalf("final status = %+v, want epochs > 0 and bytes == %g", st, volume)
+	}
+
+	// The finished job left no journal entry behind.
+	entries, _, err := sv.journal.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("journal still holds %d entries after completion", len(entries))
+	}
+
+	// The list endpoint serves it too.
+	listResp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != "alpha" {
+		t.Fatalf("list = %+v", list.Jobs)
+	}
+
+	// Unknown jobs are 404s.
+	if code, _ := getJob(t, srv, "nope"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job: got %d, want 404", code)
+	}
+}
+
+// TestCancelKeepsCheckpoint cancels a running job over HTTP and checks
+// the graceful contract: terminal "cancelled" state, journal entry
+// removed (no re-adoption), checkpoint retained for inspection.
+func TestCancelKeepsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sv, _ := startSupervisor(t, Config{Dir: dir, Shards: 2, NewTransfer: memFactory(2*time.Millisecond, nil)})
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	resp, _ := postJob(t, srv, JobSpec{ID: "longhaul", Budget: 1e9, Epoch: 1, MaxNC: 32})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: got %d, want 201", resp.StatusCode)
+	}
+	waitFor(t, 10*time.Second, "job to settle an epoch", func() bool {
+		_, st := getJob(t, srv, "longhaul")
+		return st.Epochs >= 1
+	})
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/longhaul", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: got %d, want 200", dresp.StatusCode)
+	}
+	waitFor(t, 10*time.Second, "job to reach cancelled", func() bool {
+		_, st := getJob(t, srv, "longhaul")
+		return st.State == JobCancelled
+	})
+
+	entries, _, err := sv.journal.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("cancelled job still journaled: %d entries", len(entries))
+	}
+	if _, err := tuner.LoadCheckpoint(sv.checkpointPath("longhaul")); err != nil {
+		t.Fatalf("cancelled job's checkpoint unreadable: %v", err)
+	}
+	// A restart on the same state dir must not resurrect it.
+	sv2, err := New(Config{Dir: dir, NewTransfer: memFactory(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sv2.Adopted(); len(got) != 0 {
+		t.Fatalf("restart re-adopted a cancelled job: %+v", got)
+	}
+}
+
+// TestAdmissionBackpressure pins the 429 contract: with one active
+// slot and a one-deep queue, the third concurrent job bounces with
+// Retry-After, and a duplicate ID bounces with 409.
+func TestAdmissionBackpressure(t *testing.T) {
+	sv, _ := startSupervisor(t, Config{
+		Shards:      2,
+		Limits:      Limits{MaxActive: 1, MaxQueued: 1, TenantMaxActive: 16, RetryAfter: 2 * time.Second},
+		NewTransfer: memFactory(2*time.Millisecond, nil),
+	})
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	if resp, _ := postJob(t, srv, JobSpec{ID: "a", Budget: 1e9, Epoch: 1}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("job a: got %d, want 201", resp.StatusCode)
+	}
+	// Wait until "a" occupies the single active slot, so "b" is
+	// definitely queued rather than racing it.
+	waitFor(t, 10*time.Second, "job a to start running", func() bool {
+		_, st := getJob(t, srv, "a")
+		return st.State == JobRunning
+	})
+	if resp, _ := postJob(t, srv, JobSpec{ID: "b", Budget: 1e9, Epoch: 1}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("job b: got %d, want 201", resp.StatusCode)
+	}
+	resp, _ := postJob(t, srv, JobSpec{ID: "c", Budget: 1e9, Epoch: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job c: got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if _, err := sv.Job("c"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("rejected job c was admitted anyway")
+	}
+	// Rejected submissions are never journaled.
+	entries, _, err := sv.journal.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal holds %d entries, want 2", len(entries))
+	}
+
+	resp, _ = postJob(t, srv, JobSpec{ID: "a", Budget: 1e9, Epoch: 1})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate id: got %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestTenantQuota pins per-tenant admission: a tenant at its cap is
+// rejected with "tenant-quota" while other tenants still get in.
+func TestTenantQuota(t *testing.T) {
+	sv, _ := startSupervisor(t, Config{
+		Shards:      2,
+		Limits:      Limits{TenantMaxActive: 1},
+		NewTransfer: memFactory(2*time.Millisecond, nil),
+	})
+	if _, err := sv.Submit(JobSpec{ID: "n1", Tenant: "noisy", Budget: 1e9, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sv.Submit(JobSpec{ID: "n2", Tenant: "noisy", Budget: 1e9, Epoch: 1})
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != "tenant-quota" {
+		t.Fatalf("second noisy job: err = %v, want tenant-quota rejection", err)
+	}
+	if _, err := sv.Submit(JobSpec{ID: "q1", Tenant: "quiet", Budget: 1e9, Epoch: 1}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+}
+
+// TestTenantFaultBudget pins eviction: a tenant whose jobs keep
+// failing transiently exhausts its fault budget, its running jobs are
+// evicted at the next round boundary, and new submissions bounce —
+// while a healthy tenant's job rides along unharmed.
+func TestTenantFaultBudget(t *testing.T) {
+	factory := memFactory(0, func(id string, m *memTransfer) {
+		if strings.HasPrefix(id, "flaky") {
+			m.failEvery = 1 // every epoch fails transiently
+			m.delay = time.Millisecond
+		}
+	})
+	sv, _ := startSupervisor(t, Config{
+		Shards:      2,
+		Limits:      Limits{TenantFaultBudget: 3},
+		NewTransfer: factory,
+	})
+	// MaxTransient far above the tenant budget: the per-session
+	// tolerance must not end the session before the tenant budget
+	// trips.
+	if _, err := sv.Submit(JobSpec{ID: "flaky-1", Tenant: "noisy", Budget: 1e9, Epoch: 1, MaxTransient: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Submit(JobSpec{ID: "steady", Tenant: "quiet", Bytes: 3e8, Epoch: 1, MaxNC: 32}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "noisy tenant eviction", func() bool {
+		st, err := sv.Job("flaky-1")
+		return err == nil && st.State == JobEvicted
+	})
+	_, err := sv.Submit(JobSpec{ID: "flaky-2", Tenant: "noisy", Budget: 1e9, Epoch: 1})
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != "fault-budget" {
+		t.Fatalf("post-eviction submit: err = %v, want fault-budget rejection", err)
+	}
+	waitFor(t, 10*time.Second, "quiet tenant completion", func() bool {
+		st, err := sv.Job("steady")
+		return err == nil && st.State == JobDone
+	})
+}
+
+// TestShardFailureIsolation pins the service-level isolation contract:
+// a job that dies with a fatal error must not take down other jobs on
+// the same shard.
+func TestShardFailureIsolation(t *testing.T) {
+	factory := memFactory(0, func(id string, m *memTransfer) {
+		if id == "doomed" {
+			m.failAfter = 2
+		}
+	})
+	// One shard: everything shares a worker loop on purpose.
+	sv, _ := startSupervisor(t, Config{Shards: 1, NewTransfer: factory})
+	ids := []string{"doomed", "healthy-1", "healthy-2", "healthy-3"}
+	for _, id := range ids {
+		if _, err := sv.Submit(JobSpec{ID: id, Bytes: 4e8, Epoch: 1, MaxNC: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "all jobs to reach a terminal state", func() bool {
+		for _, id := range ids {
+			st, err := sv.Job(id)
+			if err != nil || (st.State != JobDone && st.State != JobFailed) {
+				return false
+			}
+		}
+		return true
+	})
+	st, _ := sv.Job("doomed")
+	if st.State != JobFailed || st.Error == "" {
+		t.Fatalf("doomed job = %+v, want failed with error", st)
+	}
+	for _, id := range ids[1:] {
+		st, _ := sv.Job(id)
+		if st.State != JobDone || math.Abs(st.Bytes-4e8) > 1 {
+			t.Fatalf("sibling %s = %+v, want done with full bytes", id, st)
+		}
+	}
+}
+
+// TestAutoIDsSurviveRestart pins that auto-assigned job IDs never
+// collide across a restart: the admission sequence is journaled and
+// restored.
+func TestAutoIDsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	sv, cancel := startSupervisor(t, Config{Dir: dir, Shards: 1, NewTransfer: memFactory(2*time.Millisecond, nil)})
+	st1, err := sv.Submit(JobSpec{Budget: 1e9, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	sv.Wait()
+
+	sv2, err := New(Config{Dir: dir, Shards: 1, NewTransfer: memFactory(2*time.Millisecond, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := sv2.Submit(JobSpec{Budget: 1e9, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ID == st2.ID {
+		t.Fatalf("auto ID %q reused across restart", st1.ID)
+	}
+}
+
+// TestMalformedSubmitNeverJournaled pins the hostile-input contract at
+// the HTTP layer: bad bodies get 400 and leave no trace in the
+// journal.
+func TestMalformedSubmitNeverJournaled(t *testing.T) {
+	sv, _ := startSupervisor(t, Config{Shards: 1, NewTransfer: memFactory(0, nil)})
+	srv := httptest.NewServer(sv.Handler())
+	defer srv.Close()
+
+	bad := []string{
+		``,
+		`{`,
+		`[]`,
+		`{"id": "x", "bytes": 1e9} trailing`,
+		`{"unknown_field": 1, "bytes": 1e9}`,
+		`{"id": "../escape", "bytes": 1e9}`,
+		`{"id": "x", "bytes": -5}`,
+		`{"id": "x"}`, // unbounded without budget
+		`{"id": "x", "tuner": "no-such-tuner", "bytes": 1e9}`,
+		fmt.Sprintf(`{"id": %q, "bytes": 1e9}`, strings.Repeat("a", 65)),
+	}
+	for _, body := range bad {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: got %d, want 400", body, resp.StatusCode)
+		}
+	}
+	entries, skipped, err := sv.journal.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || skipped != 0 {
+		t.Fatalf("journal not empty after rejected submissions: %d entries, %d skipped", len(entries), skipped)
+	}
+	if jobs := sv.Jobs(); len(jobs) != 0 {
+		t.Fatalf("rejected submissions registered jobs: %+v", jobs)
+	}
+}
+
+// TestCrossShardSlotRelease pins the wake-on-release contract: the
+// active cap is fleet-wide, so a slot freed by one shard must wake
+// every other shard with queued work. With a cap of one and jobs
+// queued on all shards, the other shards' own wake tokens are spent
+// the moment they first park at capacity — before releaseLocked
+// re-woke them, their queues stalled forever.
+func TestCrossShardSlotRelease(t *testing.T) {
+	const shards = 4
+	ids := map[int]string{}
+	for i := 0; len(ids) < shards; i++ {
+		id := fmt.Sprintf("cross-%03d", i)
+		if k := tuner.ShardIndex(id, shards); ids[k] == "" {
+			ids[k] = id
+		}
+	}
+	sv, _ := startSupervisor(t, Config{
+		Shards:      shards,
+		Limits:      Limits{MaxActive: 1, MaxQueued: 64, TenantMaxActive: 64},
+		NewTransfer: memFactory(100*time.Microsecond, nil),
+	})
+	for _, id := range ids {
+		if _, err := sv.Submit(JobSpec{ID: id, Bytes: 2e8, Epoch: 1, MaxNC: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, "jobs on every shard to finish under a one-slot cap", func() bool {
+		for _, st := range sv.Jobs() {
+			if st.State != JobDone {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestSimulatedJobEndToEnd exercises the default transfer factory's
+// testbed branch — a spec with no Addr builds a private simulation
+// fabric — which every other test bypasses with memFactory. The epoch
+// must comfortably exceed the source endpoint's 3 s restart dead time
+// (the zero-value policy restarts processes every epoch): an epoch
+// shorter than that moves zero bytes per epoch, faithfully, forever.
+func TestSimulatedJobEndToEnd(t *testing.T) {
+	sv, _ := startSupervisor(t, Config{Shards: 2})
+	const volume = 3e9
+	for _, spec := range []JobSpec{
+		{ID: "sim-tacc", Testbed: "tacc", Bytes: volume, Epoch: 30, MaxNC: 32},
+		{ID: "sim-uc", Testbed: "uchicago", Bytes: volume, Epoch: 30, MaxNC: 32, Tfr: 2, Cmp: 8},
+	} {
+		if _, err := sv.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, "simulated jobs to finish", func() bool {
+		for _, st := range sv.Jobs() {
+			if st.State != JobDone {
+				return false
+			}
+		}
+		return true
+	})
+	for _, id := range []string{"sim-tacc", "sim-uc"} {
+		st, err := sv.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(st.Bytes-volume) > 1 {
+			t.Errorf("job %s moved %.0f bytes, want %.0f", id, st.Bytes, volume)
+		}
+		if st.Throughput <= 0 {
+			t.Errorf("job %s reports throughput %.0f, want > 0", id, st.Throughput)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"dstune/internal/fsx"
 	"dstune/internal/xfer"
@@ -104,25 +103,10 @@ func (f *FileCheckpoint) Save(ck *Checkpoint) error {
 		return err
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(filepath.Dir(f.path), ".checkpoint-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	serr := tmp.Sync()
-	cerr := tmp.Close()
-	if err := errors.Join(werr, serr, cerr); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), f.path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	// The rename is only durable once the directory entry is synced;
-	// without it a crash can roll the file back to the previous
-	// checkpoint — or to nothing — despite the fsynced temp file.
-	return fsx.SyncDir(filepath.Dir(f.path))
+	// WriteAtomic syncs the temp file and then the directory entry:
+	// without the latter a crash can roll the file back to the
+	// previous checkpoint — or to nothing — despite the fsynced data.
+	return fsx.WriteAtomic(f.path, data, 0o644)
 }
 
 // LoadCheckpoint reads and validates a checkpoint file written by

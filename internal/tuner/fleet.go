@@ -35,6 +35,20 @@ type FleetConfig struct {
 	// epoch under that key when it ends cleanly. Sessions must not
 	// share a key (Run rejects duplicates).
 	History *history.Store
+	// Shards splits the session table across that many independent
+	// round-robin worker loops, assigning each session by a stable
+	// hash of its ID (ShardIndex). 0 or 1 keeps the single loop —
+	// the exact code path earlier releases ran, so existing traces
+	// stay byte-identical. Sessions sharing one simulation fabric
+	// stay in lockstep across shards: the fabric's conservative-time
+	// barrier already orders their epochs.
+	Shards int
+	// PreserveOnCancel leaves a session's transfers running (not
+	// stopped) when the session ends on context cancellation, so the
+	// owner can checkpoint-resume them later — the Fleet analogue of
+	// the Driver's interrupt behaviour. Supervisors (dstuned) set it;
+	// the default (false) keeps the historical stop-on-cancel.
+	PreserveOnCancel bool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -87,6 +101,14 @@ type FleetSession struct {
 	// deduplicated session IDs ("bulk", "bulk-2") must never alias one
 	// key, or one session's record would overwrite another's identity.
 	HistoryKey history.Key
+	// Resume, when non-nil, restores the session mid-trajectory from a
+	// prior checkpoint before the first round: the strategy state is
+	// deserialized directly (O(1), like the Driver's resume), the
+	// recorded epochs are preloaded into the trace and byte account,
+	// and the transient-failure counter is restored. The checkpoint
+	// must match the session's strategy name; only single-transfer
+	// sessions support resumption.
+	Resume *Checkpoint
 }
 
 // validate reports whether the session is usable.
@@ -122,6 +144,9 @@ func (s FleetSession) validate() error {
 	if s.Checkpoint != nil && len(s.Transfers) != 1 {
 		return fmt.Errorf("session has %d transfers; checkpointing supports exactly one", len(s.Transfers))
 	}
+	if s.Resume != nil && len(s.Transfers) != 1 {
+		return fmt.Errorf("session has %d transfers; resume supports exactly one", len(s.Transfers))
+	}
 	return nil
 }
 
@@ -145,18 +170,23 @@ type SessionResult struct {
 	Err error
 }
 
-// Fleet drives N (strategy, transfers) sessions concurrently from one
-// scheduler loop: each round it collects every active session's
-// proposal, runs all the resulting transfer epochs at once (the
-// simulation fabric keeps them in lockstep virtual time), and feeds
-// each session's aggregate report back to its strategy. Sessions end
-// independently — transfer completion, budget, strategy termination,
-// or failure — and a session's transfers are stopped when it ends.
+// Fleet drives N (strategy, transfers) sessions concurrently: each
+// round a worker loop collects every active session's proposal, runs
+// all the resulting transfer epochs at once (the simulation fabric
+// keeps them in lockstep virtual time), and feeds each session's
+// aggregate report back to its strategy. Sessions end independently —
+// transfer completion, budget, strategy termination, or failure — and
+// a session's transfers are stopped when it ends. With
+// FleetConfig.Shards > 1 the session table is split across that many
+// worker loops by a stable hash of the session ID; the default single
+// loop is the exact historical code path.
 //
 // Fleet is the concurrent generalization of the single-session Driver
 // and the substrate of the Joint tuner; it shares its accounting (one
-// trace per transfer, per-session byte totals) but not the Driver's
-// checkpoint/resume support.
+// trace per transfer, per-session byte totals), per-session
+// checkpointing (FleetSession.Checkpoint), and O(1) mid-trajectory
+// resumption (FleetSession.Resume). Supervisors that need to admit and
+// retire sessions dynamically drive SessionRuntime directly instead.
 type Fleet struct {
 	cfg      FleetConfig
 	sessions []FleetSession
@@ -196,6 +226,9 @@ type fleetSession struct {
 	// records accumulates the checkpoint trace when the session
 	// checkpoints.
 	records []EpochRecord
+	// lastTransient reports whether the most recently settled round
+	// was a tolerated transient failure (SessionRuntime surfaces it).
+	lastTransient bool
 }
 
 // fleetJob is one (session, transfer) epoch in flight.
@@ -262,9 +295,52 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 		for j := range s.traces {
 			s.traces[j] = &Trace{Tuner: spec.Name}
 		}
+		if spec.Resume != nil {
+			if err := s.resume(spec.Resume); err != nil {
+				return nil, fmt.Errorf("tuner: fleet session %q: %w", id, err)
+			}
+		}
 		states[i] = s
 	}
 
+	if cfg.Shards <= 1 || len(states) == 1 {
+		runRounds(ctx, cfg, states)
+	} else {
+		// Partition the session table by a stable hash of the session
+		// ID and drive each shard from its own loop. Sessions on one
+		// shared fabric still advance in lockstep: the fabric's
+		// conservative-time barrier blocks every shard's epochs until
+		// all registered transfers are in theirs.
+		shards := make([][]*fleetSession, cfg.Shards)
+		for _, s := range states {
+			k := ShardIndex(s.id, cfg.Shards)
+			shards[k] = append(shards[k], s)
+		}
+		var wg sync.WaitGroup
+		for _, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(shard []*fleetSession) {
+				defer wg.Done()
+				runRounds(ctx, cfg, shard)
+			}(shard)
+		}
+		wg.Wait()
+	}
+
+	results := make([]SessionResult, len(states))
+	for i, s := range states {
+		results[i] = SessionResult{ID: s.id, Name: s.spec.Name, Traces: s.traces, Bytes: s.bytes, Err: s.err}
+	}
+	return results, nil
+}
+
+// runRounds drives one shard's sessions round-by-round until every
+// session has ended: collect each live session's proposal, run all the
+// resulting transfer epochs at once, settle in session order.
+func runRounds(ctx context.Context, cfg FleetConfig, states []*fleetSession) {
 	for {
 		// Collect this round's epochs from every live session.
 		var jobs []*fleetJob
@@ -272,44 +348,13 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 			if s.done {
 				continue
 			}
-			x, fin := s.spec.Strategy.Propose()
-			if fin {
-				s.finish(nil)
-				continue
-			}
-			now := s.spec.Transfers[0].Now()
-			s.obs.Propose(now, x, s.lastX)
-			s.lastX = ivec.Clone(x)
-			parts, err := s.slice(x)
-			if err != nil {
-				s.finish(err)
-				continue
-			}
-			s.parts = parts
-			s.obs.EpochStart(now, s.epochs, x)
-			for i := range s.spec.Transfers {
-				jobs = append(jobs, &fleetJob{
-					s: s, i: i,
-					p:     s.spec.Maps[i](parts[i]),
-					start: s.spec.Transfers[i].Now(),
-				})
-			}
+			jobs = append(jobs, s.propose()...)
 		}
 		if len(jobs) == 0 {
-			break
+			return
 		}
 
-		// One barrier group per round: the simulation fabric advances
-		// virtual time only when every participant is in its epoch.
-		var wg sync.WaitGroup
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j *fleetJob) {
-				defer wg.Done()
-				j.rep, j.err = j.s.spec.Transfers[j.i].Run(ctx, j.p, cfg.Epoch)
-			}(j)
-		}
-		wg.Wait()
+		runJobs(ctx, cfg.Epoch, jobs)
 
 		// Settle sessions in order.
 		perSession := map[*fleetSession][]*fleetJob{}
@@ -322,12 +367,22 @@ func (f *Fleet) Run(ctx context.Context) ([]SessionResult, error) {
 			}
 		}
 	}
+}
 
-	results := make([]SessionResult, len(states))
-	for i, s := range states {
-		results[i] = SessionResult{ID: s.id, Name: s.spec.Name, Traces: s.traces, Bytes: s.bytes, Err: s.err}
+// runJobs dispatches one round's transfer epochs concurrently and
+// waits for all of them: one barrier group per round, so a simulation
+// fabric advances virtual time only when every participant is in its
+// epoch.
+func runJobs(ctx context.Context, epoch float64, jobs []*fleetJob) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *fleetJob) {
+			defer wg.Done()
+			j.rep, j.err = j.s.spec.Transfers[j.i].Run(ctx, j.p, epoch)
+		}(j)
 	}
-	return results, nil
+	wg.Wait()
 }
 
 // sessionID resolves a session's stable identifier: explicit ID, then
@@ -350,6 +405,72 @@ func sessionID(spec FleetSession, used map[string]bool) string {
 	}
 	used[id] = true
 	return id
+}
+
+// propose asks the session's strategy for this round's vector and
+// expands it into per-transfer jobs. A finished strategy or a slicing
+// error ends the session and returns nil.
+func (s *fleetSession) propose() []*fleetJob {
+	x, fin := s.spec.Strategy.Propose()
+	if fin {
+		s.finish(nil)
+		return nil
+	}
+	now := s.spec.Transfers[0].Now()
+	s.obs.Propose(now, x, s.lastX)
+	s.lastX = ivec.Clone(x)
+	parts, err := s.slice(x)
+	if err != nil {
+		s.finish(err)
+		return nil
+	}
+	s.parts = parts
+	s.obs.EpochStart(now, s.epochs, x)
+	jobs := make([]*fleetJob, 0, len(s.spec.Transfers))
+	for i := range s.spec.Transfers {
+		jobs = append(jobs, &fleetJob{
+			s: s, i: i,
+			p:     s.spec.Maps[i](parts[i]),
+			start: s.spec.Transfers[i].Now(),
+		})
+	}
+	return jobs
+}
+
+// resume restores the session from a prior checkpoint before its first
+// round: validate the checkpoint against the strategy, deserialize the
+// strategy state directly, and preload the recorded epochs into the
+// trace, the byte account, and the checkpoint record — so later
+// checkpoints carry the full trajectory and Bytes counts cumulatively
+// across incarnations (mirroring the Driver's resume).
+func (s *fleetSession) resume(ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("resume: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Tuner != s.spec.Strategy.Name() {
+		return fmt.Errorf("resume: checkpoint belongs to %q, cannot resume with %q", ck.Tuner, s.spec.Strategy.Name())
+	}
+	if ck.Epochs != len(ck.Trace) {
+		return fmt.Errorf("resume: corrupt checkpoint: %d epochs but %d trace records", ck.Epochs, len(ck.Trace))
+	}
+	if len(ck.Trace) == 0 {
+		return nil
+	}
+	if len(ck.Strategy) == 0 {
+		return errors.New("resume: checkpoint has no strategy state")
+	}
+	if err := s.spec.Strategy.Restore(ck.Strategy); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	for _, rec := range ck.Trace {
+		s.records = append(s.records, EpochRecord{X: ivec.Clone(rec.X), Report: rec.Report, Transient: rec.Transient})
+		s.traces[0].add(rec.X, rec.Report)
+		s.bytes += rec.Report.Bytes
+	}
+	s.transients = ck.Transients
+	s.epochs = len(ck.Trace)
+	s.lastX = ivec.Clone(ck.Trace[len(ck.Trace)-1].X)
+	return nil
 }
 
 // slice cuts the session vector into per-transfer slices.
@@ -408,6 +529,7 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 	} else {
 		s.transients = 0
 	}
+	s.lastTransient = failed
 
 	agg := xfer.Report{Start: jobs[0].rep.Start, End: jobs[0].rep.End}
 	for _, j := range jobs {
@@ -447,9 +569,11 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 		if s.haveFit {
 			d = delta(s.lastFit, agg.Throughput)
 		}
-		s.lastFit, s.haveFit = agg.Throughput, true
 		s.obs.Observe(agg.End, epoch, d)
 	}
+	// Tracked unconditionally: SessionRuntime.LastThroughput reads it,
+	// observer or not.
+	s.lastFit, s.haveFit = agg.Throughput, true
 	s.spec.Strategy.Observe(agg)
 	if err := s.checkpoint(jobs, failed); err != nil {
 		s.finish(err)
@@ -498,7 +622,9 @@ func (s *fleetSession) checkpoint(jobs []*fleetJob, transient bool) error {
 }
 
 // finish ends the session and stops its transfers. A clean end folds
-// the session's best epoch into the fleet's history store.
+// the session's best epoch into the fleet's history store. Under
+// PreserveOnCancel a context-cancellation end leaves the transfers
+// running so a supervisor can resume them from the last checkpoint.
 func (s *fleetSession) finish(err error) {
 	s.done = true
 	s.err = err
@@ -506,6 +632,9 @@ func (s *fleetSession) finish(err error) {
 		s.recordHistory()
 	}
 	s.obs.Finish(err)
+	if s.cfg.PreserveOnCancel && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
 	for _, t := range s.spec.Transfers {
 		t.Stop()
 	}

@@ -1,0 +1,154 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+)
+
+// ShardIndex assigns a session ID to one of shards worker loops by a
+// stable FNV-1a hash, so a session lands on the same shard across
+// restarts and across processes. shards <= 1 always maps to 0.
+func ShardIndex(id string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// StepInfo is the outcome of one SessionRuntime.Step: whether the
+// session has ended (and with what error), and whether the settled
+// round was a tolerated transient failure.
+type StepInfo struct {
+	// Done reports whether the session has ended; once true, further
+	// Steps are no-ops returning the same terminal state.
+	Done bool
+	// Transient reports that the settled round failed transiently and
+	// was tolerated (recorded as a zero-throughput epoch).
+	Transient bool
+	// Err is the session's terminal error when Done; nil for a clean
+	// end (transfer complete, budget spent, or strategy finished).
+	Err error
+}
+
+// SessionRuntime drives a single fleet session one round at a time,
+// for supervisors that admit and retire sessions dynamically (the
+// dstuned service) instead of running a fixed set to completion the
+// way Fleet.Run does. It reuses the Fleet's exact per-round machinery
+// — propose, concurrent transfer epochs, settle, checkpoint — so a
+// session behaves identically under either driver.
+//
+// A SessionRuntime is owned by one goroutine at a time: Step, Abort,
+// and the accessors must not be called concurrently with one another.
+type SessionRuntime struct {
+	cfg FleetConfig
+	s   *fleetSession
+}
+
+// NewSessionRuntime validates spec and returns a runtime for it. The
+// session's ID is taken from spec (ID, then Name, then the strategy
+// name) without deduplication — the caller guarantees uniqueness. A
+// spec.Resume checkpoint restores the session mid-trajectory exactly
+// as Fleet.Run would.
+func NewSessionRuntime(cfg FleetConfig, spec FleetSession) (*SessionRuntime, error) {
+	cfg = cfg.withDefaults()
+	id := sessionID(spec, map[string]bool{})
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("tuner: session %q: %w", id, err)
+	}
+	if spec.Name == "" {
+		spec.Name = spec.Strategy.Name()
+	}
+	s := &fleetSession{cfg: cfg, spec: spec, id: id, dims: spec.Dims, weights: spec.Weights}
+	s.obs = cfg.Obs.Session(id)
+	s.obs.SetStrategy(spec.Strategy.Name())
+	if s.weights == nil {
+		s.weights = make([]float64, len(spec.Transfers))
+		for j := range s.weights {
+			s.weights[j] = 1
+		}
+	}
+	s.traces = make([]*Trace, len(spec.Transfers))
+	for j := range s.traces {
+		s.traces[j] = &Trace{Tuner: spec.Name}
+	}
+	if spec.Resume != nil {
+		if err := s.resume(spec.Resume); err != nil {
+			return nil, fmt.Errorf("tuner: session %q: %w", id, err)
+		}
+	}
+	return &SessionRuntime{cfg: cfg, s: s}, nil
+}
+
+// ID returns the session's stable identifier.
+func (r *SessionRuntime) ID() string { return r.s.id }
+
+// Done reports whether the session has ended.
+func (r *SessionRuntime) Done() bool { return r.s.done }
+
+// Err returns the session's terminal error (nil before it ends, and
+// for a clean end).
+func (r *SessionRuntime) Err() error { return r.s.err }
+
+// Epochs returns the number of settled epochs, including any preloaded
+// by a resume.
+func (r *SessionRuntime) Epochs() int { return r.s.epochs }
+
+// Bytes returns the total bytes the session's recorded epochs moved,
+// cumulative across resumed incarnations.
+func (r *SessionRuntime) Bytes() float64 { return r.s.bytes }
+
+// Transients returns the current consecutive transient-failure count.
+func (r *SessionRuntime) Transients() int { return r.s.transients }
+
+// LastX returns the most recently proposed parameter vector (nil
+// before the first round).
+func (r *SessionRuntime) LastX() []int { return r.s.lastX }
+
+// LastThroughput returns the aggregate throughput of the last settled
+// epoch in bytes/second (0 before the first).
+func (r *SessionRuntime) LastThroughput() float64 { return r.s.lastFit }
+
+// Step runs one control round: propose, run the session's transfer
+// epochs concurrently, settle, checkpoint. It blocks for the epoch
+// duration (virtual time under a simulation fabric, wall time on
+// sockets). Cancelling ctx aborts the in-flight epoch and ends the
+// session with the context's error; under FleetConfig.PreserveOnCancel
+// the transfers are left running for a later resume.
+func (r *SessionRuntime) Step(ctx context.Context) StepInfo {
+	if r.s.done {
+		return StepInfo{Done: true, Err: r.s.err}
+	}
+	jobs := r.s.propose()
+	if jobs == nil {
+		return StepInfo{Done: true, Err: r.s.err}
+	}
+	runJobs(ctx, r.cfg.Epoch, jobs)
+	r.s.settle(jobs)
+	return StepInfo{Done: r.s.done, Transient: r.s.lastTransient, Err: r.s.err}
+}
+
+// Abort ends the session immediately with err, stopping its transfers
+// (unless err is a context cancellation under PreserveOnCancel). It is
+// how a supervisor evicts or cancels a session between rounds; a
+// session that is already done is left untouched.
+func (r *SessionRuntime) Abort(err error) {
+	if r.s.done {
+		return
+	}
+	r.s.finish(err)
+}
+
+// Result returns the session's outcome in the same form Fleet.Run
+// reports. The traces include epochs preloaded by a resume.
+func (r *SessionRuntime) Result() SessionResult {
+	return SessionResult{ID: r.s.id, Name: r.s.spec.Name, Traces: r.s.traces, Bytes: r.s.bytes, Err: r.s.err}
+}

@@ -1,0 +1,163 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dstune/internal/xfer"
+)
+
+// TestShardIndexContract pins the assignment function: deterministic,
+// in range, degenerate cases map to shard 0, and real ID populations
+// actually spread across shards.
+func TestShardIndexContract(t *testing.T) {
+	if got := ShardIndex("anything", 0); got != 0 {
+		t.Fatalf("ShardIndex(_, 0) = %d, want 0", got)
+	}
+	if got := ShardIndex("anything", 1); got != 0 {
+		t.Fatalf("ShardIndex(_, 1) = %d, want 0", got)
+	}
+	const shards = 8
+	counts := make([]int, shards)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("job-%05d", i)
+		k := ShardIndex(id, shards)
+		if k < 0 || k >= shards {
+			t.Fatalf("ShardIndex(%q, %d) = %d out of range", id, shards, k)
+		}
+		if k != ShardIndex(id, shards) {
+			t.Fatalf("ShardIndex(%q) unstable", id)
+		}
+		counts[k]++
+	}
+	for k, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d never used: %v", k, counts)
+		}
+	}
+}
+
+// isolationSessions builds one doomed session (fatal transfer error on
+// its second epoch) among healthy finite-volume siblings.
+func isolationSessions(t *testing.T) []FleetSession {
+	t.Helper()
+	cfg := cfg1D(0)
+	sessions := []FleetSession{{
+		Name:      "doomed",
+		Strategy:  mustStrategy(t, cfg),
+		Transfers: []xfer.Transferer{&fake{remaining: 1e18, g: peaked(10), failAfter: 2}},
+		Maps:      []ParamMap{cfg.Map},
+	}}
+	for _, name := range []string{"healthy-1", "healthy-2", "healthy-3"} {
+		sessions = append(sessions, FleetSession{
+			Name:      name,
+			Strategy:  mustStrategy(t, cfg),
+			Transfers: []xfer.Transferer{&fake{remaining: 2e10, g: peaked(16)}},
+			Maps:      []ParamMap{cfg.Map},
+		})
+	}
+	return sessions
+}
+
+func mustStrategy(t *testing.T, cfg Config) Strategy {
+	t.Helper()
+	s, err := NewStrategy("cs-tuner", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFleetFailureIsolation is the shard-supervision regression guard:
+// one session's fatal transfer error must not abort its siblings, on
+// the single historical loop and on a sharded run alike. The siblings
+// must still move every byte of their finite volumes.
+func TestFleetFailureIsolation(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		results, err := NewFleet(FleetConfig{Epoch: 10, Shards: shards}, isolationSessions(t)...).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if results[0].Err == nil {
+			t.Fatalf("shards=%d: doomed session did not fail", shards)
+		}
+		for _, r := range results[1:] {
+			if r.Err != nil {
+				t.Errorf("shards=%d: sibling %s aborted: %v", shards, r.ID, r.Err)
+			}
+			if r.Bytes != 2e10 {
+				t.Errorf("shards=%d: sibling %s moved %.0f bytes, want 2e10", shards, r.ID, r.Bytes)
+			}
+		}
+	}
+}
+
+// TestShardedFleetMatchesSingleLoop pins that sharding is purely a
+// scheduling change: sessions over independent deterministic transfers
+// produce byte-identical traces whether they share one loop or spread
+// across several.
+func TestShardedFleetMatchesSingleLoop(t *testing.T) {
+	build := func() []FleetSession {
+		cfg := cfg1D(0)
+		var sessions []FleetSession
+		for _, peak := range []int{8, 12, 16, 24, 32} {
+			sessions = append(sessions, FleetSession{
+				Strategy:  mustStrategy(t, cfg),
+				Transfers: []xfer.Transferer{&fake{remaining: 2e10, g: peaked(peak)}},
+				Maps:      []ParamMap{cfg.Map},
+			})
+		}
+		for i := range sessions {
+			sessions[i].Name = "s-" + string(rune('a'+i))
+		}
+		return sessions
+	}
+	single, err := NewFleet(FleetConfig{Epoch: 10}, build()...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewFleet(FleetConfig{Epoch: 10, Shards: 4}, build()...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		if single[i].ID != sharded[i].ID {
+			t.Fatalf("result order differs: %q vs %q", single[i].ID, sharded[i].ID)
+		}
+		if !reflect.DeepEqual(single[i].Traces, sharded[i].Traces) {
+			t.Errorf("session %s: sharded trace differs from single-loop trace", single[i].ID)
+		}
+	}
+}
+
+// BenchmarkSessionDispatch measures the shard supervisor's hot path:
+// one SessionRuntime round (propose, epoch, settle) over an in-memory
+// transfer. The allocation count is gated in BENCH_baseline.json — a
+// regression here multiplies across every session of every shard of a
+// loaded daemon.
+func BenchmarkSessionDispatch(b *testing.B) {
+	cfg := cfg1D(0)
+	strat, err := NewStrategy("cs-tuner", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewSessionRuntime(FleetConfig{Epoch: 10}, FleetSession{
+		Name:      "bench",
+		Strategy:  strat,
+		Transfers: []xfer.Transferer{newFake(peaked(16))},
+		Maps:      []ParamMap{cfg.Map},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if info := rt.Step(ctx); info.Done {
+			b.Fatalf("session ended mid-benchmark: %+v", info)
+		}
+	}
+}
