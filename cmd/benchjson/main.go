@@ -9,9 +9,10 @@
 // benchjson exits 1 when a tracked metric regresses by more than 20%
 // over its baseline value. Only metrics where "bigger is worse" and
 // the measurement is stable enough for CI are tracked — allocs/op,
-// and custom metrics whose name contains "dials" or "deadtime". Each
-// comparison also requires the absolute growth to clear a floor
-// (2 allocs/op; 0.1 dials; 1 unit of deadtime), so timer jitter on
+// and custom metrics whose name contains "dials", "deadtime", or
+// "syscalls". Each comparison also requires the absolute growth to
+// clear a floor (2 allocs/op; 0.1 dials; 1 unit of deadtime or
+// syscalls), so timer jitter on
 // tiny values cannot flake the gate, while a warm path that starts
 // dialing again is caught even from a zero baseline. Benchmarks are
 // matched by name with the -N GOMAXPROCS suffix stripped, and only
@@ -157,6 +158,8 @@ func trackedMetric(name string) (floor float64, ok bool) {
 	case strings.Contains(l, "dials"):
 		return 0.1, true
 	case strings.Contains(l, "deadtime"):
+		return 1.0, true
+	case strings.Contains(l, "syscalls"):
 		return 1.0, true
 	}
 	return 0, false

@@ -123,13 +123,15 @@ func main() {
 	sockBuf := flag.Int("sockbuf", 0, "kernel socket buffer bytes per data connection; 0 = OS default (socket mode)")
 	cold := flag.Bool("cold", false, "disable the warm stripe pool: re-dial every data connection each epoch (socket mode)")
 	maxTransient := flag.Int("max-transient", 0, "consecutive transient epoch failures tolerated before aborting; 0 = 3")
+	datasetSpec := flag.String("dataset", "", "move a multi-file dataset over the framed data plane instead of -bytes, e.g. 10000x1MiB or lognormal:2000:8MiB:1.5 (socket mode; pass again when resuming)")
+	pp := flag.Int("pp", 0, "fixed pipelining depth for -dataset transfers; 0 tunes it as a third dimension with -two, or fixes 4 without (socket mode)")
 
 	// Disk-mode flags.
 	files := flag.Int("files", 8000, "file count (disk mode)")
 	fileSize := flag.Float64("file-size", 1<<20, "file size in bytes, or lognormal median with -lognormal (disk mode)")
 	lognormal := flag.Bool("lognormal", false, "log-normal file sizes instead of uniform (disk mode)")
-	diskRate := flag.Float64("disk-rate", 2e9, "source storage bandwidth in bytes/s (disk mode)")
-	fileOverhead := flag.Float64("file-overhead", 0.5, "per-file request latency in seconds (disk mode)")
+	diskRate := flag.Float64("disk-rate", dstune.DefaultDiskRate, "source storage bandwidth in bytes/s (disk mode)")
+	fileOverhead := flag.Float64("file-overhead", dstune.DefaultFileOverhead, "per-file request latency in seconds (disk mode)")
 	flag.Parse()
 
 	var shut shutdown
@@ -246,6 +248,20 @@ func main() {
 			ColdStart:  *cold,
 			Obs:        observer.Session(*name),
 		}
+		if *datasetSpec != "" {
+			if *bytes > 0 {
+				fatal("-dataset derives the volume from the dataset; drop -bytes")
+			}
+			var ds dstune.Dataset
+			ds, err = dstune.ParseDataset(*datasetSpec, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("dataset: %s\n", ds)
+			ccfg.Dataset = ds
+			ccfg.Bytes = 0 // derived from the dataset
+			volume = float64(ds.TotalBytes())
+		}
 		if resume != nil {
 			if resume.Transfer.Total >= 0 {
 				ccfg.Bytes = resume.Transfer.Total
@@ -302,8 +318,9 @@ func main() {
 	if *checkpointPath != "" {
 		cfg.Checkpoint = dstune.NewFileCheckpoint(*checkpointPath)
 	}
+	dataset3D := *datasetSpec != "" && *two && *pp == 0
 	switch {
-	case disk:
+	case disk, dataset3D:
 		cfg.Box = dstune.MustBox([]int{1, 1, 1}, []int{*maxNC, *maxNP, 32})
 		cfg.Start = []int{2, 8, 4}
 		cfg.Map = dstune.MapNCNPPP()
@@ -315,6 +332,15 @@ func main() {
 		cfg.Box = dstune.MustBox([]int{1}, []int{*maxNC})
 		cfg.Start = []int{2}
 		cfg.Map = dstune.MapNC(*np)
+	}
+	if *datasetSpec != "" && !dataset3D {
+		// Fewer than three tuned dimensions: run the dataset at a static
+		// pipelining depth (the -pp flag, or the disk default 4).
+		depth := *pp
+		if depth == 0 {
+			depth = 4
+		}
+		cfg.Map = dstune.MapFixedPP(cfg.Map, depth)
 	}
 	key := historyKey(*mode, *testbed, *addr, volume, *tfr, *cmp)
 	tn, err := makeTuner(*name, cfg, histStore, key)

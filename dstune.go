@@ -663,6 +663,25 @@ func ManySmallFiles(n int) Dataset { return dataset.ManySmall(n) }
 // ConcatDatasets joins datasets in order.
 func ConcatDatasets(sets ...Dataset) Dataset { return dataset.Concat(sets...) }
 
+// ParseDataset builds a dataset from a compact textual spec —
+// "10000x1MiB", "manysmall:20000", "fewhuge:16", or
+// "lognormal:2000:8MiB:1.5" (see dataset.ParseSpec). Deterministic
+// per seed; hostile specs return an error, never a panic.
+func ParseDataset(spec string, seed uint64) (Dataset, error) {
+	return dataset.ParseSpec(spec, seed)
+}
+
+// Default per-file transfer constants shared by the disk simulator,
+// the experiment scenarios, and the CLI flag defaults.
+const (
+	// DefaultDiskRate is the assumed source storage bandwidth in
+	// bytes per second.
+	DefaultDiskRate = dataset.DefaultDiskRate
+	// DefaultFileOverhead is the assumed per-file request latency in
+	// seconds.
+	DefaultFileOverhead = dataset.DefaultFileOverhead
+)
+
 // DefaultDiskParams returns the static disk-to-disk setting:
 // concurrency 2, parallelism 8, pipelining 4.
 func DefaultDiskParams() Params { return xfer.DefaultDisk() }
@@ -670,6 +689,10 @@ func DefaultDiskParams() Params { return xfer.DefaultDisk() }
 // MapNCNPPP tunes concurrency, parallelism, and pipelining; x is
 // [nc, np, pp].
 func MapNCNPPP() ParamMap { return tuner.MapNCNPPP() }
+
+// MapFixedPP wraps m with the pipelining depth fixed at pp — for
+// dataset transfers that tune fewer than three dimensions.
+func MapFixedPP(m ParamMap, pp int) ParamMap { return tuner.MapFixedPP(m, pp) }
 
 // DiskScenarios returns the three disk workload regimes (many-small,
 // lognormal-mix, few-huge), deterministic per seed.

@@ -1,8 +1,12 @@
 // Disk-to-disk: move a dataset of many small files (the paper's
 // future-work item (1), following Yildirim et al.'s analysis of
-// heterogeneous file sets). Each file costs a request round trip that
-// the pipelining parameter amortizes, so the tuner now has three
-// knobs: concurrency, parallelism, and pipelining.
+// heterogeneous file sets) — over real sockets. An in-process
+// gridftpd charges a per-file OPEN latency, the cost a remote
+// endpoint pays in metadata lookups before a file's bytes can flow.
+// Each file start must be acknowledged before its data is sent, so
+// with pp=1 the transfer serializes on that latency; the pipelining
+// parameter keeps pp file starts in flight and hides it. The tuner
+// has three knobs: concurrency, parallelism, and pipelining.
 //
 // Run with: go run ./examples/disk_to_disk
 package main
@@ -11,61 +15,74 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dstune"
 )
 
 func main() {
-	// 8000 x 1 MB files from a 2 GB/s storage array, 0.5 s per file
-	// request: the latency-bound regime where the static default
-	// (nc=2, np=8, pp=4) crawls.
-	files := dstune.ManySmallFiles(8000)
-	fmt.Printf("dataset: %s\n\n", files)
+	srv, err := dstune.ServeGridFTP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetFileLatency(15 * time.Millisecond)
 
-	run := func(mk func(dstune.TunerConfig) dstune.Tuner, start []int, policy dstune.RestartPolicy) *dstune.Trace {
-		fabric, _, err := dstune.ANLtoUChicago().NewFabric(21)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err := fabric.NewTransfer(dstune.TransferConfig{
-			Name:         "disk",
-			Files:        files,
-			DiskRate:     2e9,
-			FileOverhead: 0.5,
-			Policy:       policy,
+	files := dstune.UniformDataset(20000, 64<<10)
+	fmt.Printf("server on %s, 15ms per file start\ndataset: %s\n\n", srv.Addr(), files)
+
+	run := func(name string, maxPP int) *dstune.Trace {
+		client, err := dstune.NewTransferClient(dstune.TransferClientConfig{
+			Addr:    srv.Addr(),
+			Dataset: files,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		trace, err := mk(dstune.TunerConfig{
-			Box:    dstune.MustBox([]int{1, 1, 1}, []int{64, 16, 32}),
-			Start:  start,
-			Map:    dstune.MapNCNPPP(),
-			Budget: 1800,
-		}).Tune(context.Background(), tr)
+		defer client.Stop()
+		trace, err := dstune.NewCD(dstune.TunerConfig{
+			Epoch:     0.25, // wall-clock seconds per control epoch
+			Tolerance: 30,   // loopback timing is noisy
+			Restart:   dstune.FromCurrent,
+			Box:       dstune.MustBox([]int{1, 1, 1}, []int{4, 2, maxPP}),
+			Start:     []int{2, 1, 1},
+			Map:       dstune.MapNCNPPP(),
+			Budget:    8, // wall-clock seconds per run
+			Seed:      7,
+		}).Tune(context.Background(), client)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("%s:\nepoch  (nc np pp)  MB/s    files  first-byte lag\n", name)
+		for _, r := range trace.Results {
+			fmt.Printf("%5d  %v  %7.2f  %5d  %11.0f ms\n",
+				r.Epoch, r.X, r.Report.Throughput/1e6, r.Report.Files,
+				r.Report.FirstByteLag*1e3)
+		}
+		fmt.Println()
 		return trace
 	}
 
-	def := run(dstune.NewStatic, []int{2, 8, 4}, dstune.RestartOnChange)
-	nm := run(dstune.NewNM, []int{2, 8, 4}, dstune.RestartEveryEpoch)
+	// Pinned pp=1 (the CLI's `-pp 1`, via a degenerate box here):
+	// every file start pays the full 15 ms serially per stream, no
+	// matter how nc and np move.
+	pinned := run("pp pinned at 1", 1)
+	// The third dimension unlocked: the coordinate walk raises pp
+	// until the file latency is hidden behind data in flight.
+	tuned := run("pp tuned (3-D)", 16)
 
-	fmt.Println("tuner     MB/s    files moved   done at (s)   final (nc np pp)")
-	for _, row := range []struct {
-		name  string
-		trace *dstune.Trace
-	}{{"default", def}, {"nm-tuner", nm}} {
-		last := row.trace.Results[len(row.trace.Results)-1]
-		fmt.Printf("%-8s %7.1f  %11d   %11.0f   %v\n",
-			row.name,
-			row.trace.MeanThroughput()/1e6,
-			dstune.FilesMoved(row.trace),
-			last.Report.End,
-			row.trace.FinalX())
+	best := func(t *dstune.Trace) (x []int, mbs float64) {
+		for _, r := range t.Results {
+			if r.Report.Throughput/1e6 > mbs {
+				x, mbs = r.X, r.Report.Throughput/1e6
+			}
+		}
+		return
 	}
-	defEnd := def.Results[len(def.Results)-1].Report.End
-	nmEnd := nm.Results[len(nm.Results)-1].Report.End
-	fmt.Printf("\nnm-tuner finished the dataset %.1fx sooner\n", defEnd/nmEnd)
+	px, pBest := best(pinned)
+	tx, tBest := best(tuned)
+	fmt.Printf("best pinned epoch: %7.2f MB/s at %v\n", pBest, px)
+	fmt.Printf("best tuned epoch:  %7.2f MB/s at %v — %.1fx\n", tBest, tx, tBest/pBest)
+	fmt.Printf("files moved: %d pinned, %d tuned (of %d)\n",
+		dstune.FilesMoved(pinned), dstune.FilesMoved(tuned), files.Count())
 }

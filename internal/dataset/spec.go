@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default per-file transfer constants shared by the disk-to-disk
+// simulator, the experiment scenarios, and the CLI flag defaults, so
+// the simulated and real paths agree on one workload definition.
+const (
+	// DefaultDiskRate is the assumed source storage bandwidth in
+	// bytes per second (a modern storage array).
+	DefaultDiskRate = 2e9
+	// DefaultFileOverhead is the assumed per-file request+seek
+	// latency in seconds — the cost the pipelining depth amortizes.
+	DefaultFileOverhead = 0.5
+)
+
+// Workload is one disk-to-disk regime: a dataset plus the per-file
+// transfer constants it is moved under. It is the single definition
+// shared by the simulator scenarios (internal/experiment) and the
+// real-socket path.
+type Workload struct {
+	// Name labels the regime.
+	Name string
+	// Files is the dataset to move.
+	Files Dataset
+	// DiskRate is the source storage bandwidth in bytes per second.
+	DiskRate float64
+	// FileOverhead is the per-file request+seek latency in seconds.
+	FileOverhead float64
+}
+
+// Workloads returns the three canonical regimes of Yildirim et
+// al. [25]: request-latency-bound many small files, a heavy-tailed
+// log-normal mix, and bandwidth-bound huge files. Deterministic per
+// seed.
+func Workloads(seed uint64) []Workload {
+	return []Workload{
+		{
+			Name:         "many-small",
+			Files:        ManySmall(20000), // 20k x 1 MB
+			DiskRate:     DefaultDiskRate,
+			FileOverhead: DefaultFileOverhead,
+		},
+		{
+			Name:         "lognormal-mix",
+			Files:        LogNormal(2000, 8<<20, 1.5, seed), // median 8 MB, heavy tail
+			DiskRate:     DefaultDiskRate,
+			FileOverhead: DefaultFileOverhead,
+		},
+		{
+			Name:         "few-huge",
+			Files:        Uniform(16, 4<<30), // 16 x 4 GB
+			DiskRate:     DefaultDiskRate,
+			FileOverhead: DefaultFileOverhead,
+		},
+	}
+}
+
+// maxSpecFiles bounds the file count a spec may request, so a hostile
+// spec cannot allocate an unbounded manifest.
+const maxSpecFiles = 1 << 20
+
+// ParseSpec builds a dataset from a compact textual spec:
+//
+//	COUNTxSIZE          uniform files, e.g. "10000x1MiB", "16x4GiB"
+//	manysmall:COUNT     COUNT x 1 MB (the latency-bound regime)
+//	fewhuge:COUNT       COUNT x 10 GB (the bandwidth-bound regime)
+//	lognormal:COUNT:MEDIAN:SIGMA
+//	                    heavy-tailed sizes, e.g. "lognormal:2000:8MiB:1.5"
+//
+// SIZE accepts a decimal number with an optional B, KB, MB, GB, TB
+// (decimal) or KiB, MiB, GiB, TiB (binary) suffix. Log-normal specs
+// are deterministic per seed. Hostile specs return an error, never a
+// panic.
+func ParseSpec(spec string, seed uint64) (Dataset, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Dataset{}, fmt.Errorf("dataset: empty spec")
+	}
+	if rest, ok := strings.CutPrefix(spec, "manysmall:"); ok {
+		n, err := parseCount(rest)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return ManySmall(n), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "fewhuge:"); ok {
+		n, err := parseCount(rest)
+		if err != nil {
+			return Dataset{}, err
+		}
+		return FewHuge(n), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "lognormal:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return Dataset{}, fmt.Errorf("dataset: lognormal spec %q: want lognormal:COUNT:MEDIAN:SIGMA", spec)
+		}
+		n, err := parseCount(parts[0])
+		if err != nil {
+			return Dataset{}, err
+		}
+		median, err := ParseSize(parts[1])
+		if err != nil {
+			return Dataset{}, err
+		}
+		sigma, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || sigma <= 0 || sigma > 16 {
+			return Dataset{}, fmt.Errorf("dataset: lognormal sigma %q outside (0, 16]", parts[2])
+		}
+		return LogNormal(n, float64(median), sigma, seed), nil
+	}
+	count, sizeStr, ok := strings.Cut(spec, "x")
+	if !ok {
+		return Dataset{}, fmt.Errorf("dataset: bad spec %q: want COUNTxSIZE, manysmall:N, fewhuge:N, or lognormal:N:MEDIAN:SIGMA", spec)
+	}
+	n, err := parseCount(count)
+	if err != nil {
+		return Dataset{}, err
+	}
+	size, err := ParseSize(sizeStr)
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Uniform(n, size), nil
+}
+
+// parseCount parses a file count, bounded to [1, maxSpecFiles].
+func parseCount(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 || n > maxSpecFiles {
+		return 0, fmt.Errorf("dataset: file count %q outside [1, %d]", s, maxSpecFiles)
+	}
+	return n, nil
+}
+
+// sizeSuffixes maps size suffixes to their byte multipliers; longer
+// suffixes are matched first.
+var sizeSuffixes = []struct {
+	suffix string
+	mult   float64
+}{
+	{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+	{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+	{"B", 1},
+}
+
+// ParseSize parses a byte size with an optional decimal (KB, MB, GB,
+// TB) or binary (KiB, MiB, GiB, TiB) suffix; a bare number is bytes.
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	for _, sf := range sizeSuffixes {
+		if strings.HasSuffix(s, sf.suffix) {
+			mult = sf.mult
+			s = strings.TrimSuffix(s, sf.suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v < 0 || v*mult > float64(int64(1)<<62) {
+		return 0, fmt.Errorf("dataset: bad size %q", s)
+	}
+	return int64(v * mult), nil
+}

@@ -27,28 +27,20 @@ type DiskScenario struct {
 
 // DiskScenarios returns the three regimes: request-latency-bound many
 // small files, a heavy-tailed mix, and bandwidth-bound huge files.
-// Deterministic per seed.
+// The regimes are defined once in dataset.Workloads, shared with the
+// real-socket path. Deterministic per seed.
 func DiskScenarios(seed uint64) []DiskScenario {
-	return []DiskScenario{
-		{
-			Name:         "many-small",
-			Files:        dataset.ManySmall(20000), // 20k x 1 MB
-			DiskRate:     2e9,
-			FileOverhead: 0.5,
-		},
-		{
-			Name:         "lognormal-mix",
-			Files:        dataset.LogNormal(2000, 8<<20, 1.5, seed), // median 8 MB, heavy tail
-			DiskRate:     2e9,
-			FileOverhead: 0.5,
-		},
-		{
-			Name:         "few-huge",
-			Files:        dataset.Uniform(16, 4<<30), // 16 x 4 GB
-			DiskRate:     2e9,
-			FileOverhead: 0.5,
-		},
+	ws := dataset.Workloads(seed)
+	out := make([]DiskScenario, len(ws))
+	for i, w := range ws {
+		out[i] = DiskScenario{
+			Name:         w.Name,
+			Files:        w.Files,
+			DiskRate:     w.DiskRate,
+			FileOverhead: w.FileOverhead,
+		}
 	}
+	return out
 }
 
 // diskTunerCfg builds the three-parameter tuner configuration

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dstune/internal/dataset"
 	"dstune/internal/xfer"
 )
 
@@ -101,6 +102,64 @@ func BenchmarkEpochSetup(b *testing.B) {
 	b.Run("warm-steady", func(b *testing.B) { run(b, false, []int{2}) })
 	b.Run("warm-delta", func(b *testing.B) { run(b, false, []int{3, 2}) })
 	b.Run("cold", func(b *testing.B) { run(b, true, []int{2}) })
+}
+
+// countWriteConn counts Write calls — the syscall count of the
+// connection, since every Write on an unbuffered net.Conn is one
+// syscall.
+type countWriteConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c *countWriteConn) Write(p []byte) (int, error) {
+	c.n.Add(1)
+	return c.Conn.Write(p)
+}
+
+// BenchmarkManyFilesEpoch moves a 10k x 1 MiB dataset over loopback
+// through the framed file plane in one epoch and pins the per-file
+// cost: client-side write syscalls per file (frame header + one
+// fileChunk payload write + one pipelined OPEN, ~3) and allocations
+// per epoch. A regression here means the multi-file pump started
+// fragmenting its frames or allocating per file.
+func BenchmarkManyFilesEpoch(b *testing.B) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const nFiles = 10000
+	ds := dataset.Uniform(nFiles, 1<<20)
+	var writes atomic.Int64
+	dial := func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &countWriteConn{Conn: conn, n: &writes}, nil
+	}
+	b.SetBytes(ds.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewClient(ClientConfig{Addr: s.Addr(), Dataset: ds, Dialer: dial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := c.Run(context.Background(), xfer.Params{NC: 4, NP: 1, PP: 64}, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Done {
+			b.Fatalf("epoch did not complete the dataset: %+v", r)
+		}
+		b.StopTimer()
+		c.Stop()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(writes.Load())/float64(int64(b.N)*nFiles), "syscalls/file")
 }
 
 // BenchmarkPump measures the unshaped pump fast path in isolation:

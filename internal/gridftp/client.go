@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dstune/internal/dataset"
 	"dstune/internal/obs"
 	"dstune/internal/xfer"
 )
@@ -56,8 +57,17 @@ type ClientConfig struct {
 	// Addr is the server's address.
 	Addr string
 	// Bytes is the total volume to transfer; use xfer.Unbounded for
-	// open-ended runs.
+	// open-ended runs. With a Dataset, leave it zero (it is derived
+	// from the dataset's total size).
 	Bytes float64
+	// Dataset, when non-empty, switches the client from the bulk
+	// memory-to-memory stream to the multi-file framed data plane: the
+	// dataset is registered on the server by a MANIFEST exchange, data
+	// connections carry per-file segments behind FILE headers, file
+	// starts are pipelined up to the epoch's pp depth (Params.PP), and
+	// accounting is per-file receiver truth. Empty keeps the bulk
+	// plane bit-for-bit unchanged.
+	Dataset dataset.Dataset
 	// Shaper optionally imposes per-connection rate limits; nil
 	// pumps at full speed.
 	Shaper *Shaper
@@ -146,6 +156,15 @@ type Client struct {
 	pool  []net.Conn    // live data stripes, surviving Run boundaries
 	ctrl  net.Conn      // persistent control connection
 	ctrlR *bufio.Reader // reader paired with ctrl
+
+	// File plane (dataset mode only; nil fq selects the bulk stream).
+	// Mutated only by Run and NewClient — never concurrently.
+	fq           *fileQueue
+	datasetBytes int64   // total payload bytes across the dataset
+	manifested   bool    // MANIFEST registered on the server
+	needResync   bool    // queue must resync against server counters
+	lastDone     int     // server's completed-file count last reconcile
+	gotScratch   []int64 // reusable RESYNC parse buffer
 }
 
 // NewClient returns a client for cfg. It does not touch the network
@@ -153,6 +172,15 @@ type Client struct {
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Addr == "" {
 		return nil, fmt.Errorf("gridftp: address required")
+	}
+	datasetMode := cfg.Dataset.Count() > 0
+	if datasetMode {
+		total := cfg.Dataset.TotalBytes()
+		if cfg.Bytes == 0 {
+			cfg.Bytes = float64(total)
+		} else if cfg.Bytes != float64(total) {
+			return nil, fmt.Errorf("gridftp: Bytes %v disagrees with the dataset's %d bytes; leave it zero", cfg.Bytes, total)
+		}
 	}
 	if cfg.Bytes <= 0 {
 		return nil, fmt.Errorf("gridftp: transfer size must be positive, got %v", cfg.Bytes)
@@ -190,6 +218,14 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		c.remaining.Store(int64(1) << 62)
 	} else {
 		c.remaining.Store(int64(cfg.Bytes - cfg.AckedBytes))
+	}
+	if datasetMode {
+		c.fq = newFileQueue(cfg.Dataset)
+		c.datasetBytes = cfg.Dataset.TotalBytes()
+		// A resumed transfer rebuilds its work queue from the server's
+		// per-file counters before the first pump, restarting at
+		// file/offset granularity.
+		c.needResync = cfg.AckedBytes > 0
 	}
 	return c, nil
 }
@@ -505,7 +541,11 @@ func (c *Client) dialData(ctx context.Context) (conn net.Conn, dials, retries in
 			}
 			return nil, dials, retries, err
 		}
-		if _, err = fmt.Fprintf(conn, "DATA %s\n", c.token); err != nil {
+		verb := "DATA"
+		if c.fq != nil {
+			verb = "DATAF" // framed per-file segments
+		}
+		if _, err = fmt.Fprintf(conn, "%s %s\n", verb, c.token); err != nil {
 			conn.Close()
 			if transientNetErr(err) {
 				continue
@@ -670,6 +710,36 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		}
 		return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: %s: %w", strings.ToLower(verb), err)))
 	}
+	// Dataset mode: register the manifest once per session (the server
+	// keeps it under the token until the idle TTL), and rebuild the
+	// work queue from receiver truth when resuming or after losses.
+	if c.fq != nil && !c.manifested {
+		d, rt, merr := c.sendManifest(ctx)
+		dials += d
+		retries += rt
+		if merr != nil {
+			c.storePool(pool)
+			if ierr := c.interrupted(ctx); ierr != nil {
+				return xfer.Report{}, ierr
+			}
+			return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: manifest: %w", merr)))
+		}
+		c.manifested = true
+	}
+	if c.fq != nil && c.needResync {
+		// Quiesced here: no leases are in flight between epochs. A
+		// failed resync is not fatal — the queue keeps its local view
+		// (duplicates are clamped server-side) and a later epoch
+		// retries.
+		d, rerr := c.resyncQueue(ctx)
+		dials += d
+		if rerr == nil {
+			c.needResync = false
+		} else if ierr := c.interrupted(ctx); ierr != nil {
+			c.storePool(pool)
+			return xfer.Report{}, ierr
+		}
+	}
 	// Delta dialing: retire surplus stripes, dial only the missing
 	// ones; the rest of the pool is reused as-is.
 	for len(pool) > n {
@@ -717,6 +787,27 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 	conns := pool
 	deadline := time.Now().Add(time.Duration(epoch * float64(time.Second)))
 	rate := c.cfg.Shaper.perConnRate(len(conns))
+	// Dataset mode: the opener goroutine owns the control connection
+	// for the pump phase, keeping up to pp OPEN requests in flight and
+	// admitting files to the queue as their ACKs return.
+	var (
+		epochCtrl net.Conn
+		epochBr   *bufio.Reader
+	)
+	if c.fq != nil {
+		conn, br, dialed, cerr := c.ctrlConn()
+		if dialed {
+			dials++
+		}
+		if cerr != nil {
+			c.storePool(pool)
+			if ierr := c.interrupted(ctx); ierr != nil {
+				return xfer.Report{}, ierr
+			}
+			return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: control: %w", cerr)))
+		}
+		epochCtrl, epochBr = conn, br
+	}
 	abort := make(chan struct{})
 	unwatched := make(chan struct{})
 	watchDone := make(chan struct{})
@@ -733,22 +824,41 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		for _, conn := range conns {
 			conn.SetWriteDeadline(now)
 		}
+		if epochCtrl != nil {
+			// Unblock the opener's ACK read too.
+			epochCtrl.SetReadDeadline(now)
+		}
 	}()
 	// Each pump accumulates into goroutine-local state merged once
 	// after wg.Wait — no adjacent shared counters for the streams to
 	// false-share per chunk.
 	var (
-		wg      sync.WaitGroup
-		mergeMu sync.Mutex
-		local   int64
-		deadIdx map[int]bool
+		wg        sync.WaitGroup
+		mergeMu   sync.Mutex
+		local     int64
+		deadIdx   map[int]bool
+		firstByte atomic.Int64
+		openDone  chan struct{}
 	)
+	if c.fq != nil {
+		openDone = make(chan struct{})
+		go func() {
+			defer close(openDone)
+			c.opener(epochCtrl, epochBr, c.fq, p.Pipelining(), deadline, abort)
+		}()
+	}
 	for i, conn := range conns {
 		wg.Add(1)
 		go func(i int, conn net.Conn) {
 			defer wg.Done()
 			conn.SetWriteDeadline(deadline.Add(time.Second))
-			sent, alive := pump(conn, rate, deadline, &c.remaining, abort)
+			var sent int64
+			var alive bool
+			if c.fq != nil {
+				sent, _, alive = filePump(conn, c.fq, rate, deadline, abort, &firstByte, runStart)
+			} else {
+				sent, alive = pump(conn, rate, deadline, &c.remaining, abort)
+			}
 			mergeMu.Lock()
 			local += sent
 			if !alive {
@@ -761,6 +871,12 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		}(i, conn)
 	}
 	wg.Wait()
+	// Join the opener before releasing the watchdog: its ACK drain is
+	// bounded by the read deadline, and the control connection must be
+	// quiet again before the reconciliation exchanges below.
+	if openDone != nil {
+		<-openDone
+	}
 	close(unwatched)
 	// Join the watchdog before touching conns again: an already-fired
 	// watchdog may still be walking the slice whose backing array the
@@ -791,24 +907,61 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 	}
 
 	bytes := float64(local)
+	filesDone := 0
 	// Reconcile against receiver truth: the epoch's volume is what the
 	// server counted, not what sits in kernel socket buffers; bytes
 	// written but lost to a reset go back to the budget, late arrivals
 	// from a prior epoch are re-claimed. This also settles the exact
-	// accounting an interrupted epoch checkpoints.
-	total, d, ok := c.reconcile()
-	dials += d
-	if ok {
-		c.mu.Lock()
-		prev := c.acked
-		c.acked = total
-		c.mu.Unlock()
-		if delta := total - prev; delta >= 0 {
-			c.remaining.Add(local - delta)
-			bytes = float64(delta)
+	// accounting an interrupted epoch checkpoints. In dataset mode the
+	// receiver truth is per-file: the server's duplicate-free byte
+	// total (resends past a file's size count toward nothing) and its
+	// completed-file count.
+	if c.fq != nil {
+		done, useful, d, ok := c.reconcileFiles()
+		dials += d
+		if ok {
+			c.mu.Lock()
+			prev := c.acked
+			if useful >= prev {
+				c.acked = useful
+			}
+			c.mu.Unlock()
+			if delta := useful - prev; delta >= 0 {
+				bytes = float64(delta)
+				c.remaining.Store(c.datasetBytes - useful)
+			} else {
+				// The server lost the token's file table (idle-TTL
+				// expiry or restart): re-register the manifest and
+				// resync the queue next epoch.
+				c.manifested = false
+				c.needResync = true
+			}
+			if done >= c.lastDone {
+				filesDone = done - c.lastDone
+			}
+			c.lastDone = done
+			if done < len(c.fq.sizes) && c.fq.drained() {
+				// Every byte was leased but the server still misses
+				// some (lost in dead stripes' socket buffers): requeue
+				// the deficits from receiver truth next epoch.
+				c.needResync = true
+			}
 		}
-		// delta < 0 means the server's counter restarted (idle-token
-		// expiry); keep local accounting for this epoch and resync.
+	} else {
+		total, d, ok := c.reconcile()
+		dials += d
+		if ok {
+			c.mu.Lock()
+			prev := c.acked
+			c.acked = total
+			c.mu.Unlock()
+			if delta := total - prev; delta >= 0 {
+				c.remaining.Add(local - delta)
+				bytes = float64(delta)
+			}
+			// delta < 0 means the server's counter restarted (idle-token
+			// expiry); keep local accounting for this epoch and resync.
+		}
 	}
 
 	endWall := c.cfg.ClockOffset + time.Since(c.start).Seconds()
@@ -824,7 +977,11 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		Dials:           dials,
 		ReusedStreams:   reused,
 		Run:             run,
+		Files:           filesDone,
 		Done:            c.remaining.Load() <= 0,
+	}
+	if fb := firstByte.Load(); fb > 0 {
+		r.FirstByteLag = time.Duration(fb).Seconds()
 	}
 	if elapsed > 0 {
 		r.Throughput = r.Bytes / elapsed

@@ -1,0 +1,527 @@
+package gridftp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstune/internal/dataset"
+)
+
+// errProtocolf wraps ErrProtocol with a formatted detail message.
+func errProtocolf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrProtocol}, args...)...)
+}
+
+// fileChunk is the payload write size of the file pump. It is larger
+// than the bulk pump's chunkSize so a typical small file moves in two
+// syscalls — one frame header, one payload write — keeping the
+// per-file syscall count flat (BenchmarkManyFilesEpoch pins it).
+const fileChunk = 1 << 20
+
+// fileZeros is the shared payload buffer of the file pump.
+var fileZeros = make([]byte, fileChunk)
+
+// ackSlack bounds how long the opener waits for the ACKs of OPENs
+// still outstanding when the epoch deadline passes, so the control
+// connection is drained (and reusable for FSTAT) shortly after the
+// epoch ends.
+const ackSlack = 2 * time.Second
+
+// fileQueue is the client-side file-segment work queue that replaces
+// the anonymous byte budget in dataset mode. Files become leasable
+// only after admission (the OPEN/ACK handshake the opener performs up
+// to pp deep); stripes then pull (file, offset, length) leases of at
+// most leaseQuantum bytes. The unsent remainder of a failed lease is
+// requeued immediately; bytes lost in a dead stripe's socket buffer
+// are recovered by resyncing against the server's per-file counters.
+type fileQueue struct {
+	mu       sync.Mutex
+	sizes    []int64
+	rem      []int64 // bytes not yet leased, per file
+	started  []bool  // admitted (or known to the server from a resume)
+	inReady  []bool  // membership in ready
+	ready    []int32 // admitted files with rem > 0, leased LIFO
+	nextOpen int     // admission cursor
+	unleased int64   // sum of rem across all files
+}
+
+// newFileQueue builds the queue for d. Zero-length files need no
+// bytes and are never admitted.
+func newFileQueue(d dataset.Dataset) *fileQueue {
+	n := d.Count()
+	q := &fileQueue{
+		sizes:   make([]int64, n),
+		rem:     make([]int64, n),
+		started: make([]bool, n),
+		inReady: make([]bool, n),
+		ready:   make([]int32, 0, n),
+	}
+	for i, f := range d.Files {
+		if f.Size > 0 {
+			q.sizes[i] = f.Size
+			q.rem[i] = f.Size
+			q.unleased += f.Size
+		}
+	}
+	return q
+}
+
+// next leases up to quantum bytes of the next admitted file. n == 0
+// with wait true means nothing is admitted right now but more bytes
+// remain (the pump should idle briefly); wait false means every byte
+// has been leased and the pump is done for this epoch.
+func (q *fileQueue) next(quantum int64) (idx int, off, n int64, wait bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ready) > 0 {
+		i := q.ready[len(q.ready)-1]
+		if q.rem[i] <= 0 {
+			q.ready = q.ready[:len(q.ready)-1]
+			q.inReady[i] = false
+			continue
+		}
+		take := q.rem[i]
+		if take > quantum {
+			take = quantum
+		}
+		off = q.sizes[i] - q.rem[i]
+		q.rem[i] -= take
+		q.unleased -= take
+		if q.rem[i] <= 0 {
+			q.ready = q.ready[:len(q.ready)-1]
+			q.inReady[i] = false
+		}
+		return int(i), off, take, false
+	}
+	return 0, 0, 0, q.unleased > 0
+}
+
+// requeue returns n unsent bytes of file idx to the queue (a lease
+// cut short by a dead stripe).
+func (q *fileQueue) requeue(idx int, n int64) {
+	if n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.rem[idx] += n
+	q.unleased += n
+	if q.started[idx] && !q.inReady[idx] {
+		q.ready = append(q.ready, int32(idx))
+		q.inReady[idx] = true
+	}
+	q.mu.Unlock()
+}
+
+// admit marks file idx admitted (its OPEN was ACKed) and leasable.
+func (q *fileQueue) admit(idx int) {
+	if idx < 0 {
+		return
+	}
+	q.mu.Lock()
+	if idx < len(q.sizes) && !q.started[idx] {
+		q.started[idx] = true
+		if q.rem[idx] > 0 && !q.inReady[idx] {
+			q.ready = append(q.ready, int32(idx))
+			q.inReady[idx] = true
+		}
+	}
+	q.mu.Unlock()
+}
+
+// nextToOpen returns the next file index the opener should admit, or
+// ok false when every file has been opened. Zero-length and
+// already-started files are skipped.
+func (q *fileQueue) nextToOpen() (idx int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.nextOpen < len(q.sizes) {
+		i := q.nextOpen
+		q.nextOpen++
+		if q.sizes[i] > 0 && !q.started[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// drained reports whether every byte has been leased.
+func (q *fileQueue) drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.unleased == 0
+}
+
+// applyServer resynchronizes the queue against the server's per-file
+// received counts (got, full-length): each file's unleased remainder
+// becomes exactly the bytes the server still misses, so deficits from
+// bytes lost in dead stripes' socket buffers are requeued and
+// duplicate work is dropped. Files the server has bytes for are
+// marked started — a resumed session needs no fresh OPEN for them.
+// Callers must be quiesced: no leases in flight.
+func (q *fileQueue) applyServer(got []int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ready = q.ready[:0]
+	q.unleased = 0
+	for i := range q.sizes {
+		g := got[i]
+		if g > q.sizes[i] {
+			g = q.sizes[i]
+		}
+		if got[i] > 0 {
+			q.started[i] = true
+		}
+		q.rem[i] = q.sizes[i] - g
+		q.unleased += q.rem[i]
+		q.inReady[i] = q.started[i] && q.rem[i] > 0
+		if q.inReady[i] {
+			q.ready = append(q.ready, int32(i))
+		}
+	}
+}
+
+// appendFrameHeader appends "FILE <idx> <off> <len>\n" to b without
+// allocating.
+func appendFrameHeader(b []byte, idx int, off, n int64) []byte {
+	b = append(b, "FILE "...)
+	b = strconv.AppendInt(b, int64(idx), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, off, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, n, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// filePump drains the file queue into one data stripe: frame header,
+// then the lease's payload in fileChunk writes. A lease, once its
+// header is written, is always pushed to completion (the server
+// expects exactly the framed length) — the epoch deadline is enforced
+// between frames, and lease sizing under a shaped rate keeps the
+// overshoot to about one chunk. Any write error marks the stripe dead
+// (a half-written frame makes the connection unusable for the next
+// epoch) and requeues the unsent remainder. Returns bytes sent, Write
+// calls performed (the syscall count the benchmark pins), and whether
+// the stripe stays usable.
+func filePump(conn net.Conn, q *fileQueue, rate float64, deadline time.Time, abort <-chan struct{}, firstByte *atomic.Int64, start time.Time) (sent, writes int64, alive bool) {
+	hdr := make([]byte, 0, 48)
+	shaped := !math.IsInf(rate, 1)
+	pumpStart := time.Now()
+	for {
+		select {
+		case <-abort:
+			return sent, writes, true
+		default:
+		}
+		if time.Now().After(deadline) {
+			return sent, writes, true
+		}
+		quantum := int64(leaseQuantum)
+		if shaped {
+			// Bound the lease to what the rate can move before the
+			// deadline, so finishing the frame overshoots the epoch by
+			// at most about one chunk.
+			if b := int64(rate * time.Until(deadline).Seconds()); b < quantum {
+				quantum = b
+			}
+			if quantum < fileChunk {
+				quantum = fileChunk
+			}
+		}
+		idx, off, n, wait := q.next(quantum)
+		if n == 0 {
+			if !wait {
+				return sent, writes, true
+			}
+			// Nothing admitted yet; admissions arrive at the opener's
+			// pp/latency pace.
+			t := time.NewTimer(time.Millisecond)
+			select {
+			case <-abort:
+				t.Stop()
+				return sent, writes, true
+			case <-t.C:
+			}
+			continue
+		}
+		hdr = appendFrameHeader(hdr[:0], idx, off, n)
+		if _, err := conn.Write(hdr); err != nil {
+			q.requeue(idx, n)
+			return sent, writes, false
+		}
+		writes++
+		for rem := n; rem > 0; {
+			want := rem
+			if want > fileChunk {
+				want = fileChunk
+			}
+			m, err := conn.Write(fileZeros[:want])
+			sent += int64(m)
+			rem -= int64(m)
+			writes++
+			if m > 0 && firstByte.Load() == 0 {
+				d := time.Since(start).Nanoseconds()
+				if d < 1 {
+					d = 1
+				}
+				firstByte.CompareAndSwap(0, d)
+			}
+			if err != nil {
+				q.requeue(idx, rem)
+				return sent, writes, false
+			}
+			// Token-bucket pacing on the stripe's cumulative volume —
+			// across frames, so single-chunk small files are paced too.
+			// The sleep is clamped to the epoch's remainder (a frame
+			// still open at the deadline finishes unpaced), and watches
+			// for an abort so a cancelled epoch is not held up.
+			if shaped {
+				due := time.Duration(float64(sent) / rate * float64(time.Second))
+				if elapsed := time.Since(pumpStart); due > elapsed {
+					sleep := due - elapsed
+					if remain := time.Until(deadline); sleep > remain {
+						sleep = remain
+					}
+					if sleep > 0 {
+						t := time.NewTimer(sleep)
+						select {
+						case <-abort:
+							t.Stop()
+							// Keep pushing the frame to completion; the
+							// watchdog has expired the write deadline, so
+							// the next write fails fast if truly aborted.
+						case <-t.C:
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// opener owns the control connection for the pump phase of a dataset
+// epoch: it keeps up to pp OPEN requests in flight, admits each file
+// to the work queue as its ACK returns, and drains every outstanding
+// ACK before returning so the connection is clean for the FSTAT
+// reconciliation that follows. A read or write failure poisons the
+// control connection (the next exchange re-dials); un-ACKed files
+// simply stay unadmitted for a later epoch.
+func (c *Client) opener(conn net.Conn, br *bufio.Reader, q *fileQueue, pp int, deadline time.Time, abort <-chan struct{}) {
+	if pp < 1 {
+		pp = 1
+	}
+	conn.SetReadDeadline(deadline.Add(ackSlack))
+	defer conn.SetReadDeadline(time.Time{})
+	line := make([]byte, 0, 64)
+	inflight := 0
+	for {
+		select {
+		case <-abort:
+			return
+		default:
+		}
+		stopping := time.Now().After(deadline)
+		if !stopping {
+			for inflight < pp {
+				idx, ok := q.nextToOpen()
+				if !ok {
+					break
+				}
+				line = append(line[:0], "OPEN "...)
+				line = append(line, c.token...)
+				line = append(line, ' ')
+				line = strconv.AppendInt(line, int64(idx), 10)
+				line = append(line, '\n')
+				if _, err := conn.Write(line); err != nil {
+					c.dropCtrl(conn)
+					return
+				}
+				inflight++
+			}
+		}
+		if inflight == 0 {
+			return
+		}
+		resp, err := readLine(br)
+		if err != nil {
+			c.dropCtrl(conn)
+			return
+		}
+		rest, ok := strings.CutPrefix(resp, "ACK ")
+		if !ok {
+			c.dropCtrl(conn)
+			return
+		}
+		idx, err := strconv.Atoi(rest)
+		if err != nil {
+			c.dropCtrl(conn)
+			return
+		}
+		q.admit(idx)
+		inflight--
+	}
+}
+
+// sendManifest registers the dataset under the client's token: the
+// MANIFEST header and one size line per file, sent as a single
+// exchange on the persistent control connection (the server answers
+// OK after the last line). Idempotent — a re-sent manifest of the
+// same shape keeps the server's progress.
+func (c *Client) sendManifest(ctx context.Context) (dials, retries int, err error) {
+	var sb strings.Builder
+	sb.Grow(len(c.fq.sizes)*8 + 64)
+	sb.WriteString("MANIFEST ")
+	sb.WriteString(c.token)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.Itoa(len(c.fq.sizes)))
+	for _, sz := range c.fq.sizes {
+		sb.WriteByte('\n')
+		sb.WriteString(strconv.FormatInt(sz, 10))
+	}
+	_, dials, retries, err = c.exchange(ctx, sb.String(), "OK")
+	return dials, retries, err
+}
+
+// fstatFiles asks the server for the token's per-file aggregate: the
+// completed-file count and the duplicate-free received bytes.
+func (c *Client) fstatFiles(ctx context.Context) (done int, useful int64, dials int, err error) {
+	resp, dials, _, err := c.exchange(ctx, "FSTAT "+c.token, "FILES ")
+	if err != nil {
+		return 0, 0, dials, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) != 3 {
+		return 0, 0, dials, errProtocolf("bad FSTAT response %q", resp)
+	}
+	done, err1 := strconv.Atoi(fields[1])
+	useful, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, dials, errProtocolf("bad FSTAT response %q", resp)
+	}
+	return done, useful, dials, nil
+}
+
+// reconcileFiles polls the server's per-file aggregate until two
+// consecutive reads agree (the kernel buffers have drained) or a
+// short deadline passes. Mirrors reconcile for the framed data plane.
+func (c *Client) reconcileFiles() (done int, useful int64, dials int, ok bool) {
+	deadline := time.Now().Add(500 * time.Millisecond)
+	prevDone, prevUseful := -1, int64(-1)
+	seen := false
+	for {
+		d, u, dl, err := c.fstatFiles(context.Background())
+		dials += dl
+		if err == nil {
+			if seen && d == prevDone && u == prevUseful {
+				return d, u, dials, true
+			}
+			prevDone, prevUseful, seen = d, u, true
+		}
+		if time.Now().After(deadline) {
+			return prevDone, prevUseful, dials, seen
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// resyncQueue rebuilds the work queue from the server's per-file
+// received counts (the RESYNC exchange): lost bytes are requeued,
+// already-received bytes are dropped, and resume restarts at
+// file/offset granularity. Must only run quiesced (no leases in
+// flight). Failure is not fatal — the queue keeps its local view and
+// a later epoch retries.
+func (c *Client) resyncQueue(ctx context.Context) (dials int, err error) {
+	for k := 0; k < c.cfg.Retry.Attempts; k++ {
+		if k > 0 {
+			if !c.sleep(ctx, c.backoff(k)) {
+				return dials, err
+			}
+		}
+		if ierr := c.interrupted(ctx); ierr != nil {
+			return dials, ierr
+		}
+		var conn net.Conn
+		var br *bufio.Reader
+		var dialed bool
+		conn, br, dialed, err = c.ctrlConn()
+		if dialed {
+			dials++
+		}
+		if err != nil {
+			if transientNetErr(err) {
+				continue
+			}
+			return dials, err
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+		if _, err = conn.Write(append([]byte("RESYNC "+c.token), '\n')); err != nil {
+			c.dropCtrl(conn)
+			if transientNetErr(err) {
+				continue
+			}
+			return dials, err
+		}
+		if c.gotScratch == nil {
+			c.gotScratch = make([]int64, len(c.fq.sizes))
+		}
+		got := c.gotScratch
+		for i := range got {
+			got[i] = 0
+		}
+		bad := false
+		for {
+			var line string
+			line, err = readLine(br)
+			if err != nil {
+				break
+			}
+			if line == "END" {
+				break
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 || fields[0] != "F" {
+				bad = true
+				break
+			}
+			idx, err1 := strconv.Atoi(fields[1])
+			g, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || idx < 0 || idx >= len(got) || g < 0 {
+				bad = true
+				break
+			}
+			got[idx] = g
+		}
+		if err != nil || bad {
+			c.dropCtrl(conn)
+			if bad {
+				return dials, errProtocolf("bad RESYNC response")
+			}
+			if transientNetErr(err) {
+				continue
+			}
+			return dials, err
+		}
+		conn.SetDeadline(time.Time{})
+		c.fq.applyServer(got)
+		// Re-baseline the completed-file delta at the server's current
+		// count, so files finished before this session (or already
+		// reconciled) are not reported again as this epoch's progress.
+		done := 0
+		for i, g := range got {
+			if g >= c.fq.sizes[i] {
+				done++
+			}
+		}
+		c.lastDone = done
+		return dials, nil
+	}
+	return dials, err
+}

@@ -1,0 +1,305 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxManifestFiles bounds the file count one MANIFEST may register,
+// so a hostile client cannot make the server allocate an unbounded
+// file table.
+const maxManifestFiles = 1 << 20
+
+// fileTable is a token's server-side per-file state, registered by
+// MANIFEST and fed by framed data connections. It hangs off the
+// token's counter, so the idle-TTL janitor frees it with the token.
+type fileTable struct {
+	mu     sync.Mutex
+	sizes  []int64
+	got    []int64 // received bytes per file (duplicates included)
+	done   []bool
+	nDone  int
+	useful int64 // sum of min(got, size): duplicate-free progress
+}
+
+// newFileTable builds a table for sizes; zero-length files are done
+// on arrival.
+func newFileTable(sizes []int64) *fileTable {
+	ft := &fileTable{
+		sizes: sizes,
+		got:   make([]int64, len(sizes)),
+		done:  make([]bool, len(sizes)),
+	}
+	for i, sz := range sizes {
+		if sz <= 0 {
+			ft.done[i] = true
+			ft.nDone++
+		}
+	}
+	return ft
+}
+
+// add credits n received bytes to file idx, maintaining the done count
+// and the duplicate-free useful total (got beyond the file's size —
+// a resend after a lost stripe — counts toward neither).
+func (ft *fileTable) add(idx int, n int64) {
+	ft.mu.Lock()
+	oldUseful := min(ft.got[idx], ft.sizes[idx])
+	ft.got[idx] += n
+	ft.useful += min(ft.got[idx], ft.sizes[idx]) - oldUseful
+	if !ft.done[idx] && ft.got[idx] >= ft.sizes[idx] {
+		ft.done[idx] = true
+		ft.nDone++
+	}
+	ft.mu.Unlock()
+}
+
+// stats returns the done count and duplicate-free received bytes.
+func (ft *fileTable) stats() (done int, useful int64) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.nDone, ft.useful
+}
+
+// fileGot returns the raw received bytes for file idx.
+func (ft *fileTable) fileGot(idx int) int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.got[idx]
+}
+
+// progress returns a copy of the per-file received counts.
+func (ft *fileTable) progress() []int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return append([]int64(nil), ft.got...)
+}
+
+// count returns the number of files in the table.
+func (ft *fileTable) count() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return len(ft.sizes)
+}
+
+// SetFileLatency injects a delay between a pipelined OPEN request and
+// its ACK, simulating the per-file handshake round trip that the
+// pipelining depth (pp) hides. Pipelined OPENs are delayed
+// concurrently — pp outstanding requests all ACK one latency after
+// arrival — so the admission rate is pp/latency files per second.
+// Zero (the default) ACKs immediately. Safe to call while serving.
+func (s *Server) SetFileLatency(d time.Duration) { s.fileLatency.Store(int64(d)) }
+
+// fileTableFor returns the token's file table, or nil when no
+// MANIFEST registered one.
+func (s *Server) fileTableFor(token string) *fileTable {
+	s.mu.Lock()
+	tc, ok := s.received[token]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	tc.touch()
+	return tc.files.Load()
+}
+
+// registerManifest installs the file table for token. A re-sent
+// manifest with the same file count keeps the existing table — a
+// resumed session must not erase the server's per-file progress — and
+// any other shape replaces it.
+func (s *Server) registerManifest(token string, sizes []int64) {
+	tc := s.counter(token)
+	if ft := tc.files.Load(); ft != nil && ft.count() == len(sizes) {
+		return
+	}
+	tc.files.Store(newFileTable(sizes))
+}
+
+// connWriter serializes line writes to a control connection, so the
+// delayed ACKs of pipelined OPENs never interleave mid-line with a
+// synchronous response.
+type connWriter struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Write implements io.Writer under the lock.
+func (w *connWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.c.Write(p)
+}
+
+// serveManifest handles MANIFEST <token> <count>: it reads count size
+// lines from br and registers the token's file table. Malformed input
+// gets an ERR and drops the connection; the token's existing state is
+// never corrupted by a bad manifest.
+func (s *Server) serveManifest(w io.Writer, br *bufio.Reader, fields []string) bool {
+	if len(fields) != 3 {
+		fmt.Fprintf(w, "ERR bad MANIFEST\n")
+		return false
+	}
+	count, err := strconv.Atoi(fields[2])
+	if err != nil || count < 0 || count > maxManifestFiles {
+		fmt.Fprintf(w, "ERR bad MANIFEST count\n")
+		return false
+	}
+	sizes := make([]int64, count)
+	for i := range sizes {
+		line, err := readLine(br)
+		if err != nil {
+			return false
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(line), 10, 64)
+		if err != nil || v < 0 {
+			fmt.Fprintf(w, "ERR bad MANIFEST size\n")
+			return false
+		}
+		sizes[i] = v
+	}
+	s.registerManifest(fields[1], sizes)
+	fmt.Fprintf(w, "OK\n")
+	return true
+}
+
+// serveOpen handles OPEN <token> <idx>: it validates the index
+// against the token's manifest and schedules the ACK after the
+// configured file latency. ACKs are concurrent across pipelined
+// OPENs, writing through the locked writer.
+func (s *Server) serveOpen(w *connWriter, fields []string) bool {
+	if len(fields) != 3 {
+		fmt.Fprintf(w, "ERR bad OPEN\n")
+		return false
+	}
+	idx, err := strconv.Atoi(fields[2])
+	if err != nil || idx < 0 {
+		fmt.Fprintf(w, "ERR bad OPEN index\n")
+		return false
+	}
+	ft := s.fileTableFor(fields[1])
+	if ft == nil || idx >= ft.count() {
+		fmt.Fprintf(w, "ERR OPEN outside manifest\n")
+		return false
+	}
+	ack := func() { fmt.Fprintf(w, "ACK %d\n", idx) }
+	if lat := time.Duration(s.fileLatency.Load()); lat > 0 {
+		time.AfterFunc(lat, ack)
+	} else {
+		ack()
+	}
+	return true
+}
+
+// serveFstat handles FSTAT <token> [<idx>]: the aggregate form
+// answers FILES <done> <useful-bytes> (duplicate-free receiver
+// truth); the per-file form answers BYTES <got>.
+func (s *Server) serveFstat(w io.Writer, fields []string) bool {
+	ft := s.fileTableFor(fields[1])
+	switch len(fields) {
+	case 2:
+		if ft == nil {
+			fmt.Fprintf(w, "FILES 0 0\n")
+			return true
+		}
+		done, useful := ft.stats()
+		fmt.Fprintf(w, "FILES %d %d\n", done, useful)
+		return true
+	case 3:
+		idx, err := strconv.Atoi(fields[2])
+		if err != nil || idx < 0 || ft == nil || idx >= ft.count() {
+			fmt.Fprintf(w, "ERR bad FSTAT index\n")
+			return false
+		}
+		fmt.Fprintf(w, "BYTES %d\n", ft.fileGot(idx))
+		return true
+	default:
+		fmt.Fprintf(w, "ERR bad FSTAT\n")
+		return false
+	}
+}
+
+// serveResync handles RESYNC <token>: it streams the token's per-file
+// received counts — one "F <idx> <got>" line per file with any bytes,
+// then "END" — so a resuming client rebuilds its work queue at
+// file/offset granularity instead of re-sending the epoch.
+func (s *Server) serveResync(w io.Writer, fields []string) bool {
+	if len(fields) != 2 {
+		fmt.Fprintf(w, "ERR bad RESYNC\n")
+		return false
+	}
+	ft := s.fileTableFor(fields[1])
+	if ft == nil {
+		fmt.Fprintf(w, "END\n")
+		return true
+	}
+	bw := bufio.NewWriter(w)
+	for idx, got := range ft.progress() {
+		if got > 0 {
+			fmt.Fprintf(bw, "F %d %d\n", idx, got)
+		}
+	}
+	fmt.Fprintf(bw, "END\n")
+	return bw.Flush() == nil
+}
+
+// serveDataFramed discards a framed data stream: FILE <idx> <off>
+// <len> headers each followed by exactly len payload bytes, credited
+// to both the token's aggregate counter (so STAT keeps working) and
+// its per-file table. A malformed or out-of-manifest frame drops the
+// connection; bytes that arrived before the corruption stay counted,
+// and other tokens' tables are untouched. A truncated final frame
+// (stripe killed mid-file) credits what arrived — the client resends
+// the deficit after reconciling.
+func (s *Server) serveDataFramed(br *bufio.Reader, token string) {
+	tc := s.counter(token)
+	m := s.metrics.Load()
+	bufp := dataBufPool.Get().(*[]byte)
+	defer dataBufPool.Put(bufp)
+	buf := *bufp
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "FILE" {
+			s.logf("gridftp: bad frame header %q", line)
+			return
+		}
+		idx, err1 := strconv.Atoi(fields[1])
+		off, err2 := strconv.ParseInt(fields[2], 10, 64)
+		length, err3 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || idx < 0 || off < 0 || length < 0 {
+			s.logf("gridftp: bad frame header %q", line)
+			return
+		}
+		ft := tc.files.Load()
+		if ft == nil || idx >= ft.count() {
+			s.logf("gridftp: frame for file %d outside manifest", idx)
+			return
+		}
+		for rem := length; rem > 0; {
+			want := rem
+			if want > int64(len(buf)) {
+				want = int64(len(buf))
+			}
+			n, err := br.Read(buf[:want])
+			if n > 0 {
+				rem -= int64(n)
+				tc.n.Add(int64(n))
+				m.AddBytes(int64(n))
+				ft.add(idx, int64(n))
+				tc.touch()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}

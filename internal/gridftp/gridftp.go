@@ -21,6 +21,39 @@
 //	CLOSE <token>\n                (releases the token's counter)
 //	                               OK\n
 //
+// # File plane
+//
+// When ClientConfig.Dataset is set, the same connections carry a
+// dataset-aware framed protocol instead of the raw byte stream, so
+// pipelining depth (pp) becomes a third tunable dimension alongside
+// nc and np:
+//
+//	------ control connection ------------------
+//	MANIFEST <token> <count>\n     (then <count> size lines)
+//	<size>\n ...
+//	                               OK\n
+//	OPEN <token> <idx>\n           (<= pp in flight; ACK arrives
+//	                               ACK <idx>\n     after the per-file latency)
+//	FSTAT <token> <idx>\n
+//	                               FILE <idx> <got> <size>\n
+//	RESYNC <token>\n               (full per-file progress dump)
+//	                               FILES <count>\n  <idx> <got>\n ...
+//	------ data connections --------------------
+//	DATAF <token>\n
+//	FILE <idx> <off> <len>\n<len payload bytes>  (repeated frames)
+//
+// The server credits each file with min(received, size) so duplicate
+// retransmissions never inflate goodput, and an epoch's Report.Bytes
+// is the delta of that per-file "useful" sum — receiver truth at
+// file granularity. OPEN admission is what pp buys: each file start
+// costs one server-side latency (SetFileLatency in tests, real
+// metadata lookups in the wild), and keeping pp OPENs outstanding
+// overlaps those waits. Mid-epoch failures resume at file/offset
+// granularity: RESYNC rebuilds the client's work queue from the
+// server's per-file progress, so a restarted session re-sends only
+// unacknowledged tails. An empty manifest leaves the protocol
+// byte-identical to the bulk stream above.
+//
 // # Warm data plane
 //
 // Data connections form a persistent stripe pool that survives Run

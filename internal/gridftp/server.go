@@ -23,10 +23,12 @@ const maxLineLen = 256
 const defaultTokenTTL = 5 * time.Minute
 
 // tokenCounter tracks one transfer token's received bytes and its
-// last activity, for idle expiry.
+// last activity, for idle expiry. Dataset transfers additionally hang
+// their per-file table here, so the TTL janitor frees both together.
 type tokenCounter struct {
 	n          atomic.Int64
 	lastActive atomic.Int64 // unix nanos
+	files      atomic.Pointer[fileTable]
 }
 
 // touch records activity on the token.
@@ -42,6 +44,10 @@ type Server struct {
 
 	tokenTTL atomic.Int64 // nanoseconds; <= 0 disables expiry
 	sockBuf  atomic.Int64 // kernel socket buffer bytes; <= 0 keeps OS default
+
+	// fileLatency delays each OPEN's ACK (see SetFileLatency); the
+	// fault-injection hook for per-file handshake latency.
+	fileLatency atomic.Int64
 
 	// metrics holds the observation instruments; nil disables them.
 	// Atomic so SetObserver is safe while traffic is flowing.
@@ -291,7 +297,13 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.serveData(br, fields[1])
-	case "START", "ADJ", "STAT", "CLOSE":
+	case "DATAF":
+		if len(fields) != 2 {
+			fmt.Fprintf(conn, "ERR bad DATAF header\n")
+			return
+		}
+		s.serveDataFramed(br, fields[1])
+	case "START", "ADJ", "STAT", "CLOSE", "MANIFEST", "OPEN", "FSTAT", "RESYNC":
 		s.serveControl(conn, br, fields)
 	default:
 		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
@@ -328,8 +340,11 @@ func (s *Server) serveData(br *bufio.Reader, token string) {
 }
 
 // serveControl answers control commands; the first is already parsed,
-// further commands may follow on the same connection.
+// further commands may follow on the same connection. Responses go
+// through a locked writer because the ACKs of pipelined OPENs are
+// written asynchronously after the injected file latency.
 func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
+	w := &connWriter{c: conn}
 	fields := first
 	for {
 		switch fields[0] {
@@ -339,30 +354,50 @@ func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
 			// fresh handshake. The server is stateless about channel
 			// counts; the argument is validated for protocol hygiene.
 			if len(fields) != 3 {
-				fmt.Fprintf(conn, "ERR bad %s\n", fields[0])
+				fmt.Fprintf(w, "ERR bad %s\n", fields[0])
 				return
 			}
 			if _, err := strconv.Atoi(fields[2]); err != nil {
-				fmt.Fprintf(conn, "ERR bad channel count\n")
+				fmt.Fprintf(w, "ERR bad channel count\n")
 				return
 			}
 			s.counter(fields[1]) // pre-create (START) or touch (ADJ)
-			fmt.Fprintf(conn, "OK\n")
+			fmt.Fprintf(w, "OK\n")
 		case "STAT":
 			if len(fields) != 2 {
-				fmt.Fprintf(conn, "ERR bad STAT\n")
+				fmt.Fprintf(w, "ERR bad STAT\n")
 				return
 			}
-			fmt.Fprintf(conn, "BYTES %d\n", s.Received(fields[1]))
+			fmt.Fprintf(w, "BYTES %d\n", s.Received(fields[1]))
 		case "CLOSE":
 			if len(fields) != 2 {
-				fmt.Fprintf(conn, "ERR bad CLOSE\n")
+				fmt.Fprintf(w, "ERR bad CLOSE\n")
 				return
 			}
 			s.dropToken(fields[1])
-			fmt.Fprintf(conn, "OK\n")
+			fmt.Fprintf(w, "OK\n")
+		case "MANIFEST":
+			if !s.serveManifest(w, br, fields) {
+				return
+			}
+		case "OPEN":
+			if !s.serveOpen(w, fields) {
+				return
+			}
+		case "FSTAT":
+			if len(fields) < 2 {
+				fmt.Fprintf(w, "ERR bad FSTAT\n")
+				return
+			}
+			if !s.serveFstat(w, fields) {
+				return
+			}
+		case "RESYNC":
+			if !s.serveResync(w, fields) {
+				return
+			}
 		default:
-			fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 			return
 		}
 		line, err := readLine(br)

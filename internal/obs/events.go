@@ -58,6 +58,9 @@ const (
 	// exhausted per-tenant fault budget, typically. Session is the
 	// job ID; Detail carries the reason.
 	EventJobEvicted EventType = "JobEvicted"
+	// EventFileCompleted marks dataset files finishing per receiver
+	// truth: Files carries how many completed during the epoch.
+	EventFileCompleted EventType = "FileCompleted"
 )
 
 // EventTypes lists every event type the stack can emit, in a stable
@@ -68,6 +71,7 @@ func EventTypes() []EventType {
 		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
 		EventCheckpointWritten, EventFaultInjected, EventWarmStart,
 		EventJobAdmitted, EventJobAdopted, EventJobEvicted,
+		EventFileCompleted,
 	}
 }
 
@@ -109,6 +113,8 @@ type Event struct {
 	Retries int `json:"retries,omitempty"`
 	// Degraded counts streams below the requested concurrency.
 	Degraded int `json:"degraded,omitempty"`
+	// Files counts dataset files completed (FileCompleted only).
+	Files int `json:"files,omitempty"`
 	// Delta is the relative change driving Observe/RetriggerEpsilon,
 	// as a fraction (0.2 = 20%).
 	Delta float64 `json:"delta,omitempty"`

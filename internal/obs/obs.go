@@ -83,6 +83,14 @@ const (
 	MetricParamNC = "dstune_param_nc"
 	// MetricParamNP is the current parallelism (np) parameter.
 	MetricParamNP = "dstune_param_np"
+	// MetricParamPP is the current pipelining depth (pp) parameter.
+	MetricParamPP = "dstune_param_pp"
+	// MetricFilesCompleted counts dataset files completed (receiver
+	// truth) per session.
+	MetricFilesCompleted = "gridftp_files_completed_total"
+	// MetricFirstByteLag is the per-epoch distribution of the delay
+	// between epoch start and the first payload byte (seconds).
+	MetricFirstByteLag = "gridftp_first_byte_lag_seconds"
 	// MetricDials counts new data connections established.
 	MetricDials = "dstune_dials_total"
 	// MetricReused counts warm streams reused instead of dialed.
@@ -154,6 +162,12 @@ type EpochStats struct {
 	Retries int
 	// DegradedStreams counts stream-slots below requested concurrency.
 	DegradedStreams int
+	// Files counts dataset files completed this epoch (receiver
+	// truth; zero for bulk memory-to-memory epochs).
+	Files int
+	// FirstByteLag is the delay between the epoch's start and its
+	// first payload byte, in seconds (zero when unmeasured).
+	FirstByteLag float64
 }
 
 // SessionStatus is one session's live state as served by /status.
@@ -182,6 +196,8 @@ type SessionStatus struct {
 	Retries int `json:"retries"`
 	// DegradedStreams is the cumulative degraded stream-slot count.
 	DegradedStreams int `json:"degraded_streams"`
+	// Files is the cumulative count of dataset files completed.
+	Files int `json:"files,omitempty"`
 	// TransientEpochs counts epochs lost to transient failures.
 	TransientEpochs int `json:"transient_epochs"`
 	// TransientBudget is the remaining tolerated consecutive transient
@@ -255,14 +271,17 @@ func (o *Observer) Session(id string) *SessionObs {
 		histHits:   o.reg.Counter(MetricHistoryHits, "History lookups that warm-started the session.", lbl),
 		histMisses: o.reg.Counter(MetricHistoryMisses, "History lookups without a usable prediction.", lbl),
 		histRecs:   o.reg.Counter(MetricHistoryRecords, "Tuning outcomes recorded into the history store.", lbl),
+		files:      o.reg.Counter(MetricFilesCompleted, "Dataset files completed (receiver truth).", lbl),
 		throughput: o.reg.Gauge(MetricThroughput, "Last epoch mean throughput in bytes/second.", lbl),
 		bestCase:   o.reg.Gauge(MetricBestCase, "Last epoch dead-time-compensated throughput in bytes/second.", lbl),
 		nc:         o.reg.Gauge(MetricParamNC, "Current concurrency (nc) parameter.", lbl),
 		np:         o.reg.Gauge(MetricParamNP, "Current parallelism (np) parameter.", lbl),
+		pp:         o.reg.Gauge(MetricParamPP, "Current pipelining depth (pp) parameter.", lbl),
 		budget:     o.reg.Gauge(MetricTransientBudget, "Remaining tolerated consecutive transient failures.", lbl),
 		pool:       o.reg.Gauge(MetricWarmPool, "Idle warm streams pooled between epochs.", lbl),
 		deadTime:   o.reg.Histogram(MetricDeadTime, "Per-epoch dead time in seconds.", DefaultLatencyBuckets, lbl),
 		ckSeconds:  o.reg.Histogram(MetricCheckpointSeconds, "Checkpoint write latency in wall seconds.", DefaultLatencyBuckets, lbl),
+		firstByte:  o.reg.Histogram(MetricFirstByteLag, "Delay from epoch start to first payload byte in seconds.", DefaultLatencyBuckets, lbl),
 	}
 	s.st.ID = id
 
@@ -286,9 +305,9 @@ type SessionObs struct {
 
 	epochs, bytes, dials, reused, retries, degraded *Counter
 	transient, retriggers, ckWrites, evictions      *Counter
-	histHits, histMisses, histRecs                  *Counter
-	throughput, bestCase, nc, np, budget, pool      *Gauge
-	deadTime, ckSeconds                             *Histogram
+	histHits, histMisses, histRecs, files           *Counter
+	throughput, bestCase, nc, np, pp, budget, pool  *Gauge
+	deadTime, ckSeconds, firstByte                  *Histogram
 
 	mu sync.Mutex
 	st SessionStatus
@@ -335,6 +354,9 @@ func (s *SessionObs) setParams(x []int) {
 	if len(x) > 1 {
 		s.np.Set(float64(x[1]))
 	}
+	if len(x) > 2 {
+		s.pp.Set(float64(x[2]))
+	}
 }
 
 // Propose records the strategy proposing vector x at transfer clock t,
@@ -379,9 +401,13 @@ func (s *SessionObs) EpochEnd(t float64, epoch int, x []int, rep EpochStats, tra
 	s.reused.Add(int64(rep.ReusedStreams))
 	s.retries.Add(int64(rep.Retries))
 	s.degraded.Add(int64(rep.DegradedStreams))
+	s.files.Add(int64(rep.Files))
 	s.throughput.Set(rep.Throughput)
 	s.bestCase.Set(rep.BestCase)
 	s.deadTime.Observe(rep.DeadTime)
+	if rep.FirstByteLag > 0 {
+		s.firstByte.Observe(rep.FirstByteLag)
+	}
 	s.budget.Set(float64(budget))
 	if transient {
 		s.transient.Inc()
@@ -396,6 +422,7 @@ func (s *SessionObs) EpochEnd(t float64, epoch int, x []int, rep EpochStats, tra
 	s.st.ReusedStreams += rep.ReusedStreams
 	s.st.Retries += rep.Retries
 	s.st.DegradedStreams += rep.DegradedStreams
+	s.st.Files += rep.Files
 	s.st.TransientBudget = budget
 	if transient {
 		s.st.TransientEpochs++
@@ -407,6 +434,10 @@ func (s *SessionObs) EpochEnd(t float64, epoch int, x []int, rep EpochStats, tra
 		BestCase: rep.BestCase, Bytes: rep.Bytes, DeadTime: rep.DeadTime,
 		Dials: rep.Dials, Reused: rep.ReusedStreams, Retries: rep.Retries,
 		Degraded: rep.DegradedStreams, Transient: transient})
+	if rep.Files > 0 {
+		s.o.Event(Event{T: t, Type: EventFileCompleted, Session: s.id,
+			Epoch: epoch, Files: rep.Files})
+	}
 }
 
 // Observe records the fitness delta handed to the strategy: delta is

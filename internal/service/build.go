@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 
+	"dstune/internal/dataset"
 	"dstune/internal/directsearch"
 	"dstune/internal/experiment"
 	"dstune/internal/faultnet"
@@ -13,6 +14,10 @@ import (
 	"dstune/internal/tuner"
 	"dstune/internal/xfer"
 )
+
+// maxPP bounds the pipelining-depth search box for dataset jobs,
+// mirroring the CLI's disk mode.
+const maxPP = 32
 
 // buildRuntime turns one admitted job into a stepping session: resolve
 // the checkpoint (re-adoption resumes mid-trajectory), build the
@@ -43,14 +48,29 @@ func (sv *Supervisor) buildRuntime(j *job) (*tuner.SessionRuntime, error) {
 		Obs:       sv.obs.Session(j.id),
 	}
 	var m tuner.ParamMap
-	if spec.Two {
+	switch {
+	case spec.Dataset != "" && spec.Two && spec.PP == 0:
+		// Dataset job tuning all three dimensions: [nc, np, pp].
+		cfg.Box = directsearch.MustBox([]int{1, 1, 1}, []int{spec.MaxNC, spec.MaxNP, maxPP})
+		cfg.Start = []int{2, 8, 4}
+		m = tuner.MapNCNPPP()
+	case spec.Two:
 		cfg.Box = directsearch.MustBox([]int{1, 1}, []int{spec.MaxNC, spec.MaxNP})
 		cfg.Start = []int{2, 8}
 		m = tuner.MapNCNP()
-	} else {
+	default:
 		cfg.Box = directsearch.MustBox([]int{1}, []int{spec.MaxNC})
 		cfg.Start = []int{2}
 		m = tuner.MapNC(spec.NP)
+	}
+	if spec.Dataset != "" && (!spec.Two || spec.PP > 0) {
+		// Fewer than three tuned dimensions: run the dataset at a
+		// static depth (the spec's pp, or the disk default 4).
+		pp := spec.PP
+		if pp == 0 {
+			pp = 4
+		}
+		m = tuner.MapFixedPP(m, pp)
 	}
 	cfg.Map = m
 
@@ -143,6 +163,14 @@ func (sv *Supervisor) defaultTransfer(id string, spec JobSpec, resume *tuner.Che
 		if spec.Bytes > 0 {
 			ccfg.Bytes = spec.Bytes
 		}
+		if spec.Dataset != "" {
+			ds, err := dataset.ParseSpec(spec.Dataset, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ccfg.Dataset = ds
+			ccfg.Bytes = 0 // derived from the dataset
+		}
 		if resume != nil {
 			ccfg.Bytes = resume.Transfer.Total
 			if resume.Transfer.Total < 0 {
@@ -191,7 +219,21 @@ func (sv *Supervisor) defaultTransfer(id string, spec JobSpec, resume *tuner.Che
 			size = xfer.Unbounded
 		}
 	}
-	return fabric.NewTransfer(xfer.TransferConfig{Name: id, Bytes: size})
+	tcfg := xfer.TransferConfig{Name: id, Bytes: size}
+	if spec.Dataset != "" {
+		// Simulated dataset jobs use the disk-to-disk model under the
+		// shared workload constants. A resumed simulated dataset
+		// restarts the dataset (file-level progress lives only in the
+		// dead process); socket jobs resume at file/offset granularity.
+		ds, err := dataset.ParseSpec(spec.Dataset, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tcfg.Files = ds
+		tcfg.DiskRate = dataset.DefaultDiskRate
+		tcfg.FileOverhead = dataset.DefaultFileOverhead
+	}
+	return fabric.NewTransfer(tcfg)
 }
 
 // historyKey derives the job's identity in the shared knowledge plane,

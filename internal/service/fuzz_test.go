@@ -29,6 +29,15 @@ func FuzzDecodeJobSpec(f *testing.F) {
 		`{"max_nc": 99999999, "bytes": 1}`,
 		`{"dial_fail_prob": 0.5, "bytes": 1}`,
 		`{"addr": "127.0.0.1:0", "dial_fail_prob": 0.5, "bytes": 1}`,
+		`{"addr": "127.0.0.1:0", "dataset": "10000x1MiB", "two": true}`,
+		`{"addr": "127.0.0.1:0", "dataset": "lognormal:2000:8MiB:1.5", "pp": 4}`,
+		`{"dataset": "manysmall:20000", "budget": 60}`,
+		`{"dataset": "0x1MiB", "budget": 60}`,
+		`{"dataset": "99999999999x1TiB"}`,
+		`{"dataset": "lognormal:10:1MiB:-3"}`,
+		`{"dataset": "10x1MiB", "bytes": 1}`,
+		`{"pp": 4, "bytes": 1}`,
+		`{"pp": -1, "dataset": "10x1MiB"}`,
 		`{"unknown": true, "bytes": 1}`,
 		`{"bytes": 1}{"bytes": 2}`,
 		`{"id": "` + strings.Repeat("x", 100) + `", "bytes": 1}`,
@@ -56,7 +65,9 @@ func FuzzDecodeJobSpec(f *testing.F) {
 				t.Fatalf("accepted non-UTF-8 name %q from %q", name, data)
 			}
 		}
-		if spec.Bytes == 0 && spec.Budget == 0 {
+		// Every accepted spec must be able to terminate: a finite byte
+		// volume, a budget, or a dataset (which bounds the transfer).
+		if spec.Bytes == 0 && spec.Budget == 0 && spec.Dataset == "" {
 			t.Fatalf("accepted non-terminating spec from %q", data)
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"dstune/internal/dataset"
 	"dstune/internal/tuner"
 )
 
@@ -59,6 +60,17 @@ type JobSpec struct {
 	Two bool `json:"two,omitempty"`
 	// NP is the fixed parallelism when not tuning it (default 8).
 	NP int `json:"np,omitempty"`
+	// PP fixes the pipelining depth of a dataset job; 0 tunes it as a
+	// third dimension when Two is set (otherwise depth 4). Requires
+	// Dataset.
+	PP int `json:"pp,omitempty"`
+	// Dataset, when set, makes the job move a multi-file dataset
+	// instead of an anonymous byte volume (see dataset.ParseSpec for
+	// the syntax, e.g. "10000x1MiB" or "lognormal:2000:8MiB:1.5").
+	// Socket jobs use the framed per-file data plane; simulated jobs
+	// use the disk-to-disk model. The dataset bounds the transfer, so
+	// Bytes must stay zero.
+	Dataset string `json:"dataset,omitempty"`
 	// MaxNC and MaxNP bound the search box (defaults 128 and 16).
 	MaxNC int `json:"max_nc,omitempty"`
 	MaxNP int `json:"max_np,omitempty"`
@@ -143,14 +155,24 @@ func (s JobSpec) Validate() error {
 		name    string
 		v, ceil int
 	}{
-		{"np", s.NP, 4096}, {"max_nc", s.MaxNC, 4096}, {"max_np", s.MaxNP, 4096},
+		{"np", s.NP, 4096}, {"pp", s.PP, 4096}, {"max_nc", s.MaxNC, 4096}, {"max_np", s.MaxNP, 4096},
 		{"max_transient", s.MaxTransient, 1 << 20}, {"tfr", s.Tfr, 1 << 20}, {"cmp", s.Cmp, 1 << 20},
 	} {
 		if f.v < 0 || f.v > f.ceil {
 			return fmt.Errorf("service: %s %d outside [0, %d]", f.name, f.v, f.ceil)
 		}
 	}
-	if s.Bytes == 0 && s.Budget == 0 {
+	if s.Dataset != "" {
+		if _, err := dataset.ParseSpec(s.Dataset, 1); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		if s.Bytes != 0 {
+			return errors.New("service: dataset jobs derive their volume from the dataset; leave bytes zero")
+		}
+	} else if s.PP != 0 {
+		return errors.New("service: pp applies only to dataset jobs (set dataset)")
+	}
+	if s.Bytes == 0 && s.Budget == 0 && s.Dataset == "" {
 		return errors.New("service: unbounded job (bytes 0) needs a budget to terminate")
 	}
 	return nil

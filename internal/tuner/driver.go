@@ -243,6 +243,8 @@ func (r *session) observe(epoch int, x []int, rep xfer.Report, transient bool) {
 			ReusedStreams:   rep.ReusedStreams,
 			Retries:         rep.Retries,
 			DegradedStreams: rep.DegradedStreams,
+			Files:           rep.Files,
+			FirstByteLag:    rep.FirstByteLag,
 		}, transient, budget)
 		f := fitnessOf(r.cfg, rep)
 		var d float64

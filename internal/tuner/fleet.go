@@ -543,6 +543,7 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 		agg.ReusedStreams += j.rep.ReusedStreams
 		agg.Retries += j.rep.Retries
 		agg.DegradedStreams += j.rep.DegradedStreams
+		agg.Files += j.rep.Files
 		if j.rep.Done {
 			agg.Done = true
 		}
@@ -564,6 +565,7 @@ func (s *fleetSession) settle(jobs []*fleetJob) {
 			ReusedStreams:   agg.ReusedStreams,
 			Retries:         agg.Retries,
 			DegradedStreams: agg.DegradedStreams,
+			Files:           agg.Files,
 		}, failed, budget)
 		var d float64
 		if s.haveFit {

@@ -57,6 +57,17 @@ func MapNCNPPP() ParamMap {
 	return func(x []int) xfer.Params { return xfer.Params{NC: x[0], NP: x[1], PP: x[2]} }
 }
 
+// MapFixedPP wraps m with the pipelining depth fixed at pp — for
+// dataset transfers that tune fewer than three dimensions while
+// keeping a static depth.
+func MapFixedPP(m ParamMap, pp int) ParamMap {
+	return func(x []int) xfer.Params {
+		p := m(x)
+		p.PP = pp
+		return p
+	}
+}
+
 // RestartFrom selects where cs-tuner and nm-tuner restart their inner
 // search when the throughput monitor triggers.
 type RestartFrom int

@@ -106,6 +106,11 @@ type Report struct {
 	// pool rather than dialed this epoch (real-socket transfers only;
 	// omitted from serialized reports when zero).
 	ReusedStreams int `json:",omitempty"`
+	// FirstByteLag is the delay in seconds between the epoch's start
+	// and its first payload byte hitting a data connection — the
+	// per-file handshake latency the pipelining depth hides (dataset
+	// transfers only; omitted from serialized reports when zero).
+	FirstByteLag float64 `json:",omitempty"`
 	// Run is the 1-based sequence number of the Run call that produced
 	// this report within the transferer's current session — a restart
 	// diagnostic for real-socket transfers; zero when unreported.
