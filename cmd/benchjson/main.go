@@ -159,6 +159,14 @@ func trackedMetric(name string) (floor float64, ok bool) {
 		return 0.1, true
 	case strings.Contains(l, "deadtime"):
 		return 1.0, true
+	case strings.Contains(l, "syscalls/gib"):
+		// The zero-copy gate: a sendfile lease costs ~6 syscalls per
+		// 32 MiB, so the baseline sits near 250/GiB and the userspace
+		// fallback near 2200/GiB. The floor absorbs hint-level churn
+		// (one extra syscall per lease is +32/GiB) while still
+		// catching a pump that starts fragmenting leases — that
+		// multiplies the figure, clearing any sub-100 floor.
+		return 64, true
 	case strings.Contains(l, "syscalls"):
 		return 1.0, true
 	}

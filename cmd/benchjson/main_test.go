@@ -94,4 +94,22 @@ func TestCompareGate(t *testing.T) {
 	if msgs := compare(base, cur); len(msgs) != 0 {
 		t.Fatalf("sub-floor noise flagged: %v", msgs)
 	}
+
+	// syscalls/GiB rides its own wide floor: hint-level churn (one
+	// extra syscall per 32 MiB lease is +32/GiB) stays quiet, while a
+	// pump that falls off the sendfile path multiplies the figure and
+	// trips the gate.
+	base = map[string]result{
+		"BenchmarkFileSourceEpoch/zerocopy-8": {Metrics: map[string]float64{"syscalls/GiB": 190}},
+	}
+	cur = map[string]result{
+		"BenchmarkFileSourceEpoch/zerocopy-8": {Metrics: map[string]float64{"syscalls/GiB": 250}},
+	}
+	if msgs := compare(base, cur); len(msgs) != 0 {
+		t.Fatalf("hint-level syscall churn flagged: %v", msgs)
+	}
+	cur["BenchmarkFileSourceEpoch/zerocopy-8"] = result{Metrics: map[string]float64{"syscalls/GiB": 2200}}
+	if msgs := compare(base, cur); len(msgs) != 1 {
+		t.Fatalf("userspace-level syscall figure not flagged: %v", msgs)
+	}
 }

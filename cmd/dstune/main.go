@@ -125,6 +125,10 @@ func main() {
 	maxTransient := flag.Int("max-transient", 0, "consecutive transient epoch failures tolerated before aborting; 0 = 3")
 	datasetSpec := flag.String("dataset", "", "move a multi-file dataset over the framed data plane instead of -bytes, e.g. 10000x1MiB or lognormal:2000:8MiB:1.5 (socket mode; pass again when resuming)")
 	pp := flag.Int("pp", 0, "fixed pipelining depth for -dataset transfers; 0 tunes it as a third dimension with -two, or fixes 4 without (socket mode)")
+	sourceDir := flag.String("source", "", "read -dataset payload from real files under this directory (materialized if absent) instead of synthetic zeros, engaging the zero-copy sendfile pump where the platform has it")
+	requestSink := flag.Bool("sink", false, "ask the server to persist the -dataset files at its configured -sink directory instead of discarding them (socket mode)")
+	noZeroCopy := flag.Bool("no-zerocopy", false, "force the portable userspace pump even where sendfile is available (socket mode, with -source)")
+	tcpInfo := flag.Bool("tcpinfo", false, "sample kernel TCP_INFO per stripe at epoch boundaries and surface it in the trace and events (socket mode, Linux)")
 
 	// Disk-mode flags.
 	files := flag.Int("files", 8000, "file count (disk mode)")
@@ -241,12 +245,15 @@ func main() {
 		}
 		ccfg := dstune.TransferClientConfig{
 			Addr: *addr, Bytes: size, Shaper: shaper,
-			Retry:      dstune.RetryConfig{Attempts: *retries, Backoff: *retryBackoff},
-			MinStreams: *minStreams,
-			Seed:       *seed,
-			SockBuf:    *sockBuf,
-			ColdStart:  *cold,
-			Obs:        observer.Session(*name),
+			Retry:       dstune.RetryConfig{Attempts: *retries, Backoff: *retryBackoff},
+			MinStreams:  *minStreams,
+			Seed:        *seed,
+			SockBuf:     *sockBuf,
+			ColdStart:   *cold,
+			NoZeroCopy:  *noZeroCopy,
+			RequestSink: *requestSink,
+			TCPInfo:     *tcpInfo,
+			Obs:         observer.Session(*name),
 		}
 		if *datasetSpec != "" {
 			if *bytes > 0 {
@@ -261,6 +268,14 @@ func main() {
 			ccfg.Dataset = ds
 			ccfg.Bytes = 0 // derived from the dataset
 			volume = float64(ds.TotalBytes())
+			if *sourceDir != "" {
+				if err := dstune.MaterializeDataset(*sourceDir, ds); err != nil {
+					fatal(err)
+				}
+				ccfg.SourceDir = *sourceDir
+			}
+		} else if *sourceDir != "" {
+			fatal("-source reads the files named by a manifest; it requires -dataset")
 		}
 		if resume != nil {
 			if resume.Transfer.Total >= 0 {
@@ -518,13 +533,30 @@ func printTrace(tr *dstune.Trace) {
 	}
 	dims := len(tr.Results[0].X)
 	headers := []string{"nc", "nc   np", "nc   np   pp"}
-	fmt.Printf("epoch    t(s)    %s   MB/s    best-case\n", headers[min(dims, 3)-1])
+	kernel := false
+	for _, r := range tr.Results {
+		if r.Report.Kernel != nil {
+			kernel = true
+			break
+		}
+	}
+	fmt.Printf("epoch    t(s)    %s   MB/s    best-case", headers[min(dims, 3)-1])
+	if kernel {
+		fmt.Printf("    rtt(ms)  retx")
+	}
+	fmt.Println()
 	for _, r := range tr.Results {
 		fmt.Printf("%5d  %6.1f  ", r.Epoch, r.Report.End)
 		for _, v := range r.X {
 			fmt.Printf("%4d ", v)
 		}
-		fmt.Printf(" %8.1f  %8.1f\n", r.Report.Throughput/1e6, r.Report.BestCase/1e6)
+		fmt.Printf(" %8.1f  %8.1f", r.Report.Throughput/1e6, r.Report.BestCase/1e6)
+		if k := r.Report.Kernel; k != nil {
+			fmt.Printf("  %9.3f  %4d", k.MeanRTT()*1e3, k.RetransDelta)
+		} else if kernel {
+			fmt.Printf("  %9s  %4s", "-", "-")
+		}
+		fmt.Println()
 	}
 	obs, best := tr.MeanThroughput(), tr.MeanBestCase()
 	fmt.Printf("\n%s: mean %.1f MB/s, best-case %.1f MB/s", tr.Tuner, obs/1e6, best/1e6)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gridftpd [-addr :7632] [-token-ttl 5m] [-sockbuf N] [-file-latency 0] [-obs-addr :9632] [-v]
+//	gridftpd [-addr :7632] [-token-ttl 5m] [-sockbuf N] [-file-latency 0] [-sink DIR] [-obs-addr :9632] [-v]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	tokenTTL := flag.Duration("token-ttl", 5*time.Minute, "idle expiry for per-transfer byte counters; 0 disables")
 	sockBuf := flag.Int("sockbuf", 0, "kernel socket buffer bytes for accepted connections; 0 = OS default")
 	fileLatency := flag.Duration("file-latency", 0, "artificial per-file OPEN latency for dataset transfers, emulating remote metadata cost (what -pp pipelining hides)")
+	sinkDir := flag.String("sink", "", "persist dataset transfers that request a sink under this directory (one subdirectory per token); empty keeps the discard-and-count behavior")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /status, /debug/vars, and /debug/pprof on this address; empty disables")
 	verbose := flag.Bool("v", false, "log connection errors")
 	flag.Parse()
@@ -37,6 +38,7 @@ func main() {
 	srv.SetTokenTTL(*tokenTTL)
 	srv.SetSockBuf(*sockBuf)
 	srv.SetFileLatency(*fileLatency)
+	srv.SetSink(*sinkDir)
 	if *obsAddr != "" {
 		observer := dstune.NewObserver(dstune.ObserverConfig{})
 		srv.SetObserver(observer)

@@ -663,6 +663,12 @@ func ManySmallFiles(n int) Dataset { return dataset.ManySmall(n) }
 // ConcatDatasets joins datasets in order.
 func ConcatDatasets(sets ...Dataset) Dataset { return dataset.Concat(sets...) }
 
+// MaterializeDataset creates the dataset's files on disk under dir
+// (sparse, size-exact), ready to serve as a TransferClient SourceDir.
+// Existing files of the right size are left alone, so re-running
+// against a warm directory is cheap.
+func MaterializeDataset(dir string, d Dataset) error { return dataset.Materialize(dir, d) }
+
 // ParseDataset builds a dataset from a compact textual spec —
 // "10000x1MiB", "manysmall:20000", "fewhuge:16", or
 // "lognormal:2000:8MiB:1.5" (see dataset.ParseSpec). Deterministic

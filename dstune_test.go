@@ -3,6 +3,7 @@ package dstune_test
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -161,6 +162,70 @@ func TestSocketFacade(t *testing.T) {
 	}
 	if r.Bytes <= 0 {
 		t.Fatal("socket transfer made no progress")
+	}
+}
+
+// TestKernelStatsSurfaceInReport: a TCPInfo-enabled socket run surfaces
+// the kernel's per-stripe view (nonzero RTT and cwnd on Linux) in
+// Report.Kernel, while simulated transfers — which have no kernel to
+// ask — report Kernel == nil.
+func TestKernelStatsSurfaceInReport(t *testing.T) {
+	srv, err := dstune.ServeGridFTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := dstune.NewTransferClient(dstune.TransferClientConfig{
+		Addr:    srv.Addr(),
+		Bytes:   dstune.Unbounded,
+		TCPInfo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Stop()
+	r, err := client.Run(context.Background(), dstune.Params{NC: 2, NP: 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" {
+		if r.Kernel == nil || len(r.Kernel.Stripes) == 0 {
+			t.Fatal("TCPInfo run surfaced no kernel samples")
+		}
+		for i, sk := range r.Kernel.Stripes {
+			if sk.Cwnd == 0 || sk.RTT <= 0 {
+				t.Fatalf("stripe %d: cwnd=%d rtt=%v, want nonzero", i, sk.Cwnd, sk.RTT)
+			}
+		}
+		if r.Kernel.MeanRTT() <= 0 {
+			t.Fatal("MeanRTT not positive")
+		}
+	}
+
+	// The simulated fabric has no kernel: Kernel must stay nil.
+	fabric, err := dstune.NewFabric(dstune.FabricConfig{
+		Seed:   2,
+		Source: dstune.HostConfig{Name: "sim", Cores: 4, CorePumpRate: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fabric.AddPath(dstune.PathConfig{
+		Name: "lan", Capacity: 1e9, BaseRTT: 0.005, MaxCwnd: 4 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fabric.NewTransfer(dstune.TransferConfig{Name: "k", Bytes: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Stop()
+	sr, err := tr.Run(context.Background(), dstune.Params{NC: 2, NP: 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Kernel != nil {
+		t.Fatal("simulated transfer surfaced kernel samples")
 	}
 }
 

@@ -1,12 +1,16 @@
 // Disk-to-disk: move a dataset of many small files (the paper's
 // future-work item (1), following Yildirim et al.'s analysis of
-// heterogeneous file sets) — over real sockets. An in-process
-// gridftpd charges a per-file OPEN latency, the cost a remote
-// endpoint pays in metadata lookups before a file's bytes can flow.
-// Each file start must be acknowledged before its data is sent, so
-// with pp=1 the transfer serializes on that latency; the pipelining
-// parameter keeps pp file starts in flight and hides it. The tuner
-// has three knobs: concurrency, parallelism, and pipelining.
+// heterogeneous file sets) — over real sockets, from real files to
+// real files. The dataset is materialized on disk and served through
+// the file-backed source (the zero-copy sendfile pump where the
+// platform has it); an in-process gridftpd persists every received
+// frame under a sink directory and charges a per-file OPEN latency,
+// the cost a remote endpoint pays in metadata lookups before a file's
+// bytes can flow. Each file start must be acknowledged before its
+// data is sent, so with pp=1 the transfer serializes on that latency;
+// the pipelining parameter keeps pp file starts in flight and hides
+// it. The tuner has three knobs: concurrency, parallelism, and
+// pipelining.
 //
 // Run with: go run ./examples/disk_to_disk
 package main
@@ -14,27 +18,48 @@ package main
 import (
 	"context"
 	"fmt"
+	"io/fs"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"dstune"
 )
 
 func main() {
+	srcDir, err := os.MkdirTemp("", "disk_to_disk_src")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(srcDir)
+	sinkDir, err := os.MkdirTemp("", "disk_to_disk_sink")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(sinkDir)
+
 	srv, err := dstune.ServeGridFTP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	srv.SetFileLatency(15 * time.Millisecond)
+	srv.SetSink(sinkDir)
 
 	files := dstune.UniformDataset(20000, 64<<10)
-	fmt.Printf("server on %s, 15ms per file start\ndataset: %s\n\n", srv.Addr(), files)
+	if err := dstune.MaterializeDataset(srcDir, files); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server on %s, 15ms per file start, sink %s\ndataset: %s under %s\n\n",
+		srv.Addr(), sinkDir, files, srcDir)
 
 	run := func(name string, maxPP int) *dstune.Trace {
 		client, err := dstune.NewTransferClient(dstune.TransferClientConfig{
-			Addr:    srv.Addr(),
-			Dataset: files,
+			Addr:        srv.Addr(),
+			Dataset:     files,
+			SourceDir:   srcDir,
+			RequestSink: true,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -85,4 +110,19 @@ func main() {
 	fmt.Printf("best tuned epoch:  %7.2f MB/s at %v — %.1fx\n", tBest, tx, tBest/pBest)
 	fmt.Printf("files moved: %d pinned, %d tuned (of %d)\n",
 		dstune.FilesMoved(pinned), dstune.FilesMoved(tuned), files.Count())
+
+	// Receiver truth: the bytes are on the sink's disk, one directory
+	// per transfer token.
+	var sunkFiles, sunkBytes int64
+	filepath.WalkDir(sinkDir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			sunkFiles++
+			sunkBytes += info.Size()
+		}
+		return nil
+	})
+	fmt.Printf("persisted at the sink: %d files, %.1f MB\n", sunkFiles, float64(sunkBytes)/1e6)
 }

@@ -13,6 +13,7 @@ import (
 
 	"dstune/internal/dataset"
 	"dstune/internal/obs"
+	"dstune/internal/tcpinfo"
 	"dstune/internal/xfer"
 )
 
@@ -68,6 +69,34 @@ type ClientConfig struct {
 	// accounting is per-file receiver truth. Empty keeps the bulk
 	// plane bit-for-bit unchanged.
 	Dataset dataset.Dataset
+	// SourceDir switches the dataset's payload from synthesized zeros
+	// to real file contents: manifest entry i is read from
+	// SourceDir/<name>. Validated up front — every name must be a
+	// local path and exist as a regular file of at least the manifest
+	// size. On Linux, leases on unwrapped *net.TCPConn stripes are
+	// routed through sendfile(2), so payload bytes never cross
+	// userspace; elsewhere — or under NoZeroCopy, the
+	// dstune_nozerocopy build tag, or wrapped connections — a portable
+	// pread+writev pump produces the identical byte stream. Requires a
+	// Dataset.
+	SourceDir string
+	// NoZeroCopy forces the portable userspace copy path even where
+	// the kernel fast path is available — the runtime A/B switch the
+	// syscall-discipline benchmarks flip.
+	NoZeroCopy bool
+	// RequestSink asks the server to persist the transferred files
+	// under its configured sink directory (Server.SetSink) instead of
+	// discarding them, via a SINK exchange after the manifest. A
+	// server without a sink refuses, failing the epoch fatally.
+	// Requires a Dataset.
+	RequestSink bool
+	// TCPInfo samples every surviving data connection's kernel TCP
+	// state (RTT, cwnd, delivery rate, retransmits) at each epoch
+	// boundary via getsockopt(TCP_INFO), surfacing per-stripe samples
+	// on Report.Kernel and the session's observability instruments.
+	// Linux only; elsewhere — and on wrapped connections — Kernel
+	// simply stays nil.
+	TCPInfo bool
 	// Shaper optionally imposes per-connection rate limits; nil
 	// pumps at full speed.
 	Shaper *Shaper
@@ -160,11 +189,14 @@ type Client struct {
 	// File plane (dataset mode only; nil fq selects the bulk stream).
 	// Mutated only by Run and NewClient — never concurrently.
 	fq           *fileQueue
-	datasetBytes int64   // total payload bytes across the dataset
-	manifested   bool    // MANIFEST registered on the server
-	needResync   bool    // queue must resync against server counters
-	lastDone     int     // server's completed-file count last reconcile
-	gotScratch   []int64 // reusable RESYNC parse buffer
+	src          *fileSource // file-backed payload (SourceDir); nil synthesizes zeros
+	datasetBytes int64       // total payload bytes across the dataset
+	manifested   bool        // MANIFEST registered on the server
+	sinkOK       bool        // SINK accepted by the server this session
+	needResync   bool        // queue must resync against server counters
+	lastDone     int         // server's completed-file count last reconcile
+	lastRetrans  int64       // summed stripe retransmit counters last sample
+	gotScratch   []int64     // reusable RESYNC parse buffer
 }
 
 // NewClient returns a client for cfg. It does not touch the network
@@ -184,6 +216,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.Bytes <= 0 {
 		return nil, fmt.Errorf("gridftp: transfer size must be positive, got %v", cfg.Bytes)
+	}
+	if cfg.SourceDir != "" && !datasetMode {
+		return nil, fmt.Errorf("gridftp: SourceDir requires a Dataset")
+	}
+	if cfg.RequestSink && !datasetMode {
+		return nil, fmt.Errorf("gridftp: RequestSink requires a Dataset")
 	}
 	if cfg.AckedBytes < 0 || cfg.AckedBytes > cfg.Bytes {
 		return nil, fmt.Errorf("gridftp: acked bytes %v outside [0, %v]", cfg.AckedBytes, cfg.Bytes)
@@ -222,6 +260,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if datasetMode {
 		c.fq = newFileQueue(cfg.Dataset)
 		c.datasetBytes = cfg.Dataset.TotalBytes()
+		if cfg.SourceDir != "" {
+			src, err := newFileSource(cfg.SourceDir, cfg.Dataset)
+			if err != nil {
+				return nil, err
+			}
+			c.src = src
+		}
 		// A resumed transfer rebuilds its work queue from the server's
 		// per-file counters before the first pump, restarting at
 		// file/offset granularity.
@@ -726,6 +771,22 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		}
 		c.manifested = true
 	}
+	// The sink request follows the manifest (the server refuses SINK
+	// for an unmanifested token) and is re-sent whenever the manifest
+	// is, so a server restart re-arms persistence too.
+	if c.fq != nil && c.cfg.RequestSink && !c.sinkOK {
+		_, d, rt, serr := c.exchange(ctx, "SINK "+c.token, "OK")
+		dials += d
+		retries += rt
+		if serr != nil {
+			c.storePool(pool)
+			if ierr := c.interrupted(ctx); ierr != nil {
+				return xfer.Report{}, ierr
+			}
+			return xfer.Report{}, c.failEpoch(ctx, runStart, epoch, classify(fmt.Errorf("gridftp: sink: %w", serr)))
+		}
+		c.sinkOK = true
+	}
 	if c.fq != nil && c.needResync {
 		// Quiesced here: no leases are in flight between epochs. A
 		// failed resync is not fatal — the queue keeps its local view
@@ -838,13 +899,14 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		local     int64
 		deadIdx   map[int]bool
 		firstByte atomic.Int64
+		sysCalls  atomic.Int64
 		openDone  chan struct{}
 	)
 	if c.fq != nil {
 		openDone = make(chan struct{})
 		go func() {
 			defer close(openDone)
-			c.opener(epochCtrl, epochBr, c.fq, p.Pipelining(), deadline, abort)
+			c.opener(epochCtrl, epochBr, c.fq, p.Pipelining(), deadline, abort, &sysCalls)
 		}()
 	}
 	for i, conn := range conns {
@@ -855,7 +917,9 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 			var sent int64
 			var alive bool
 			if c.fq != nil {
-				sent, _, alive = filePump(conn, c.fq, rate, deadline, abort, &firstByte, runStart)
+				pio := c.newPumpIO(conn)
+				sent, alive = filePump(conn, c.fq, pio, rate, deadline, abort, &firstByte, runStart)
+				sysCalls.Add(pio.syscalls())
 			} else {
 				sent, alive = pump(conn, rate, deadline, &c.remaining, abort)
 			}
@@ -882,6 +946,13 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 	// watchdog may still be walking the slice whose backing array the
 	// eviction below compacts in place.
 	<-watchDone
+
+	// Sample kernel TCP state off the surviving stripes at the epoch
+	// boundary — before eviction or a ColdStart teardown closes them.
+	var kernel *xfer.KernelStats
+	if c.cfg.TCPInfo {
+		kernel = c.sampleKernel(conns, deadIdx)
+	}
 
 	// Evict dead stripes; the survivors stay warm for the next epoch
 	// (unless ColdStart tears the stripe down per epoch, the paper's
@@ -931,9 +1002,10 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 				c.remaining.Store(c.datasetBytes - useful)
 			} else {
 				// The server lost the token's file table (idle-TTL
-				// expiry or restart): re-register the manifest and
-				// resync the queue next epoch.
+				// expiry or restart): re-register the manifest — and
+				// re-request the sink — and resync the queue next epoch.
 				c.manifested = false
+				c.sinkOK = false
 				c.needResync = true
 			}
 			if done >= c.lastDone {
@@ -978,10 +1050,14 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		ReusedStreams:   reused,
 		Run:             run,
 		Files:           filesDone,
+		Kernel:          kernel,
 		Done:            c.remaining.Load() <= 0,
 	}
 	if fb := firstByte.Load(); fb > 0 {
 		r.FirstByteLag = time.Duration(fb).Seconds()
+	}
+	if n := sysCalls.Load(); n > 0 {
+		r.Syscalls = n
 	}
 	if elapsed > 0 {
 		r.Throughput = r.Bytes / elapsed
@@ -993,6 +1069,48 @@ func (c *Client) Run(ctx context.Context, p xfer.Params, epoch float64) (xfer.Re
 		return r, err
 	}
 	return r, nil
+}
+
+// sampleKernel reads TCP_INFO off every surviving data connection and
+// aggregates the per-stripe samples, feeding the session's
+// observability instruments along the way. The retransmit delta is
+// epoch-over-epoch growth of the summed counters, clamped at zero
+// (stripe eviction or redial resets a counter). Returns nil when no
+// connection yields a sample (non-Linux builds, wrapped connections),
+// so reports stay byte-identical where the sampler cannot run.
+func (c *Client) sampleKernel(conns []net.Conn, deadIdx map[int]bool) *xfer.KernelStats {
+	var ks xfer.KernelStats
+	var total int64
+	now := c.Now()
+	for i, conn := range conns {
+		if deadIdx[i] {
+			continue
+		}
+		info, ok := tcpinfo.Sample(conn)
+		if !ok {
+			continue
+		}
+		sk := xfer.StripeKernel{
+			RTT:          info.RTT.Seconds(),
+			RTTVar:       info.RTTVar.Seconds(),
+			Cwnd:         int(info.SndCwnd),
+			DeliveryRate: float64(info.DeliveryRate),
+			Retrans:      int64(info.TotalRetrans),
+		}
+		c.cfg.Obs.StripeKernel(now, len(ks.Stripes), sk.Cwnd, sk.RTT, sk.RTTVar, sk.DeliveryRate, sk.Retrans)
+		total += sk.Retrans
+		ks.Stripes = append(ks.Stripes, sk)
+	}
+	if len(ks.Stripes) == 0 {
+		c.lastRetrans = 0
+		return nil
+	}
+	if delta := total - c.lastRetrans; delta > 0 {
+		ks.RetransDelta = delta
+		c.cfg.Obs.KernelRetrans(delta)
+	}
+	c.lastRetrans = total
+	return &ks
 }
 
 // Interface conformance check.

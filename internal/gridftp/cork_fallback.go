@@ -1,0 +1,10 @@
+//go:build !linux
+
+package gridftp
+
+import "net"
+
+// setCork is a no-op where TCP_CORK does not exist; the header simply
+// rides in its own segment. Only the Linux zero-copy pump calls it on
+// a hot path, and that pump is compiled out here anyway.
+func setCork(*net.TCPConn, int) int64 { return 0 }

@@ -1,0 +1,28 @@
+//go:build linux
+
+package gridftp
+
+import (
+	"net"
+	"syscall"
+)
+
+// setCork toggles TCP_CORK on the data connection. The zero-copy pump
+// corks the stream around each lease so the small framed header
+// coalesces with the first payload pages instead of departing as its
+// own tiny segment ahead of every sendfile — the canonical
+// header-plus-sendfile idiom. Returns the number of syscalls issued so
+// the pump can tally it; a socket that refuses the option costs the
+// one failed call and the stream still works, merely uncoalesced.
+func setCork(c *net.TCPConn, v int) int64 {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return 0
+	}
+	if rc.Control(func(fd uintptr) {
+		syscall.SetsockoptInt(int(fd), syscall.IPPROTO_TCP, syscall.TCP_CORK, v)
+	}) != nil {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,10 @@
+//go:build !linux || (!amd64 && !arm64) || dstune_nozerocopy
+
+package gridftp
+
+import "os"
+
+// fadviseWillNeed is a no-op where the zero-copy pump is unavailable
+// or the 64-bit fadvise64 calling convention does not apply; the
+// userspace pump populates the page cache through its own reads.
+func fadviseWillNeed(*os.File, int64, int64) int64 { return 0 }

@@ -1,0 +1,29 @@
+//go:build linux && (amd64 || arm64) && !dstune_nozerocopy
+
+package gridftp
+
+import (
+	"os"
+	"syscall"
+)
+
+// fadviseWillNeed asks the kernel to populate the page cache for
+// [off, off+n) of f ahead of a sendfile lease. sendfile's splice path
+// faults cold pages in one at a time — each miss a synchronous
+// zero-fill or block read inside the send syscall — which collapses
+// the zero-copy pump to a fraction of the userspace pump's rate on a
+// cold file. POSIX_FADV_WILLNEED batches that population up front
+// (including hole pages, which readahead(2) skips), so the sendfile
+// that follows streams from warm pages. One syscall per lease,
+// tallied by the caller; failure is ignored — the hint is purely an
+// optimization and sendfile handles cold pages correctly, just
+// slowly. Returns the syscalls spent (1; the no-op fallback returns
+// 0) so the caller's tally stays honest.
+//
+// Restricted to 64-bit arches: 32-bit Linux splits the offset across
+// registers (fadvise64_64) and is not worth the marshaling here.
+func fadviseWillNeed(f *os.File, off, n int64) int64 {
+	const posixFadvWillNeed = 3
+	syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), uintptr(off), uintptr(n), posixFadvWillNeed, 0, 0)
+	return 1
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -201,30 +202,126 @@ func appendFrameHeader(b []byte, idx int, off, n int64) []byte {
 	return b
 }
 
-// filePump drains the file queue into one data stripe: frame header,
-// then the lease's payload in fileChunk writes. A lease, once its
-// header is written, is always pushed to completion (the server
-// expects exactly the framed length) — the epoch deadline is enforced
-// between frames, and lease sizing under a shaped rate keeps the
-// overshoot to about one chunk. Any write error marks the stripe dead
-// (a half-written frame makes the connection unusable for the next
-// epoch) and requeues the unsent remainder. Returns bytes sent, Write
-// calls performed (the syscall count the benchmark pins), and whether
-// the stripe stays usable.
-func filePump(conn net.Conn, q *fileQueue, rate float64, deadline time.Time, abort <-chan struct{}, firstByte *atomic.Int64, start time.Time) (sent, writes int64, alive bool) {
+// zcLeaseQuantum is the lease size of the zero-copy source pump. A
+// zero-copy lease costs a constant ~6 syscalls (fadvise, cork, header
+// write, seek, sendfile, uncork) regardless of size, so leases an
+// order of magnitude past
+// the userspace quantum push the syscalls/GiB floor down for free;
+// requeue granularity is unaffected because a dead stripe's
+// kernel-buffered remainder is recovered through RESYNC either way.
+const zcLeaseQuantum = 32 << 20
+
+// zcMinSegment is the smallest lease routed through sendfile(2); below
+// it the userspace writev of header plus payload wins (one syscall
+// against the kernel path's three).
+const zcMinSegment = 256 << 10
+
+// pumpIO is one stripe's I/O context for filePump: the payload source
+// (nil synthesizes zeros), the zero-copy routing decision, and the
+// write-side syscall tally the epoch report surfaces (source-side
+// reads tally in src). Owned by a single pump goroutine.
+type pumpIO struct {
+	src    *stripeSource
+	tcp    *net.TCPConn // non-nil when conn is an unwrapped TCP connection
+	zc     bool         // route big leases through sendfile(2)
+	calls  int64        // write/writev syscalls issued
+	vec    net.Buffers
+	vecbuf [2][]byte // backing array for vec, so writev costs no allocation
+}
+
+// newPumpIO builds conn's pump context: zero-copy engages only when
+// the build supports it, the config allows it, a file source exists,
+// and the connection is an unwrapped *net.TCPConn (fault-injecting
+// wrappers fall back to the userspace path automatically).
+func (c *Client) newPumpIO(conn net.Conn) *pumpIO {
+	pio := &pumpIO{src: newStripeSource(c.src)}
+	pio.tcp, _ = conn.(*net.TCPConn)
+	pio.zc = zeroCopyAvailable && !c.cfg.NoZeroCopy && pio.src != nil && pio.tcp != nil
+	return pio
+}
+
+// syscalls returns the context's total I/O call tally.
+func (pio *pumpIO) syscalls() int64 {
+	n := pio.calls
+	if pio.src != nil {
+		n += pio.src.calls
+	}
+	return n
+}
+
+// markFirstByte records the epoch's first payload byte instant, once.
+func markFirstByte(firstByte *atomic.Int64, sent int64, start time.Time) {
+	if sent > 0 && firstByte.Load() == 0 {
+		d := time.Since(start).Nanoseconds()
+		if d < 1 {
+			d = 1
+		}
+		firstByte.CompareAndSwap(0, d)
+	}
+}
+
+// pace enforces token-bucket pacing on a stripe's cumulative volume —
+// across frames, so single-chunk small files are paced too. The sleep
+// is clamped to the epoch's remainder (a frame still open at the
+// deadline finishes unpaced) and watches for an abort so a cancelled
+// epoch is not held up: the watchdog has expired the write deadline,
+// so the next write fails fast if truly aborted.
+func pace(rate float64, sent int64, pumpStart, deadline time.Time, abort <-chan struct{}) {
+	due := time.Duration(float64(sent) / rate * float64(time.Second))
+	elapsed := time.Since(pumpStart)
+	if due <= elapsed {
+		return
+	}
+	sleep := due - elapsed
+	if remain := time.Until(deadline); sleep > remain {
+		sleep = remain
+	}
+	if sleep <= 0 {
+		return
+	}
+	t := time.NewTimer(sleep)
+	select {
+	case <-abort:
+		t.Stop()
+	case <-t.C:
+	}
+}
+
+// filePump drains the file queue into one data stripe. A lease, once
+// its frame header is committed, is always pushed to completion (the
+// server expects exactly the framed length) — the epoch deadline is
+// enforced between frames. Any write or source-read error marks the
+// stripe dead (a half-written frame makes the connection unusable for
+// the next epoch) and requeues the unsent remainder.
+//
+// Payload routing per lease:
+//   - zero-copy (pio.zc, lease >= zcMinSegment): one header write,
+//     then the whole lease through sendfile(2) — payload bytes never
+//     cross userspace;
+//   - file-backed userspace: pread into a pooled buffer, fileChunk at
+//     a time;
+//   - no source: synthesized zeros.
+//
+// On the userspace paths the header rides the first payload chunk in
+// a single writev, so a small file still moves in one syscall.
+func filePump(conn net.Conn, q *fileQueue, pio *pumpIO, rate float64, deadline time.Time, abort <-chan struct{}, firstByte *atomic.Int64, start time.Time) (sent int64, alive bool) {
 	hdr := make([]byte, 0, 48)
 	shaped := !math.IsInf(rate, 1)
 	pumpStart := time.Now()
+	defer pio.src.release()
 	for {
 		select {
 		case <-abort:
-			return sent, writes, true
+			return sent, true
 		default:
 		}
 		if time.Now().After(deadline) {
-			return sent, writes, true
+			return sent, true
 		}
 		quantum := int64(leaseQuantum)
+		if pio.zc {
+			quantum = zcLeaseQuantum
+		}
 		if shaped {
 			// Bound the lease to what the rate can move before the
 			// deadline, so finishing the frame overshoots the epoch by
@@ -239,7 +336,7 @@ func filePump(conn net.Conn, q *fileQueue, rate float64, deadline time.Time, abo
 		idx, off, n, wait := q.next(quantum)
 		if n == 0 {
 			if !wait {
-				return sent, writes, true
+				return sent, true
 			}
 			// Nothing admitted yet; admissions arrive at the opener's
 			// pp/latency pace.
@@ -247,61 +344,98 @@ func filePump(conn net.Conn, q *fileQueue, rate float64, deadline time.Time, abo
 			select {
 			case <-abort:
 				t.Stop()
-				return sent, writes, true
+				return sent, true
 			case <-t.C:
 			}
 			continue
 		}
-		hdr = appendFrameHeader(hdr[:0], idx, off, n)
-		if _, err := conn.Write(hdr); err != nil {
-			q.requeue(idx, n)
-			return sent, writes, false
+		var f *os.File
+		if pio.src != nil {
+			var err error
+			if f, err = pio.src.file(idx); err != nil {
+				// The validated source file vanished mid-transfer. The
+				// lease cannot be produced, so give the stripe up; the
+				// queue keeps the bytes for a later epoch.
+				q.requeue(idx, n)
+				return sent, false
+			}
 		}
-		writes++
-		for rem := n; rem > 0; {
+		hdr = appendFrameHeader(hdr[:0], idx, off, n)
+
+		if pio.zc && n >= zcMinSegment {
+			// Warm the lease's pages before sendfile: cold pages fault
+			// into the splice path one at a time, stalling the send
+			// syscall per page, where a WILLNEED hint populates the
+			// whole range up front.
+			pio.src.calls += fadviseWillNeed(f, off, n)
+			// Cork the stream across header+payload so the small
+			// frame header coalesces with the first payload pages
+			// rather than leaving as its own tiny segment before each
+			// sendfile.
+			pio.calls += setCork(pio.tcp, 1)
+			if _, err := pio.tcp.Write(hdr); err != nil {
+				q.requeue(idx, n)
+				return sent, false
+			}
+			pio.calls++
+			m, err := sendFileSegment(pio.tcp, f, off, n)
+			pio.calls += setCork(pio.tcp, 0)
+			pio.src.calls += 2 // the seek and the sendfile
+			sent += m
+			markFirstByte(firstByte, m, start)
+			if err != nil {
+				q.requeue(idx, n-m)
+				return sent, false
+			}
+			if shaped {
+				pace(rate, sent, pumpStart, deadline, abort)
+			}
+			continue
+		}
+
+		first := true
+		for rem, pos := n, off; rem > 0; {
 			want := rem
 			if want > fileChunk {
 				want = fileChunk
 			}
-			m, err := conn.Write(fileZeros[:want])
-			sent += int64(m)
-			rem -= int64(m)
-			writes++
-			if m > 0 && firstByte.Load() == 0 {
-				d := time.Since(start).Nanoseconds()
-				if d < 1 {
-					d = 1
+			payload := fileZeros[:want]
+			if f != nil {
+				buf := pio.src.buf()
+				m, _ := f.ReadAt(buf[:want], pos)
+				pio.src.calls++
+				if int64(m) < want {
+					q.requeue(idx, rem)
+					return sent, false
 				}
-				firstByte.CompareAndSwap(0, d)
+				payload = buf[:want]
 			}
+			var nw int64
+			var err error
+			if first {
+				// Header and first chunk in one writev.
+				pio.vec = append(pio.vecbuf[:0], hdr, payload)
+				nw, err = pio.vec.WriteTo(conn)
+				if nw -= int64(len(hdr)); nw < 0 {
+					nw = 0
+				}
+				first = false
+			} else {
+				var m int
+				m, err = conn.Write(payload)
+				nw = int64(m)
+			}
+			pio.calls++
+			sent += nw
+			rem -= nw
+			pos += nw
+			markFirstByte(firstByte, nw, start)
 			if err != nil {
 				q.requeue(idx, rem)
-				return sent, writes, false
+				return sent, false
 			}
-			// Token-bucket pacing on the stripe's cumulative volume —
-			// across frames, so single-chunk small files are paced too.
-			// The sleep is clamped to the epoch's remainder (a frame
-			// still open at the deadline finishes unpaced), and watches
-			// for an abort so a cancelled epoch is not held up.
 			if shaped {
-				due := time.Duration(float64(sent) / rate * float64(time.Second))
-				if elapsed := time.Since(pumpStart); due > elapsed {
-					sleep := due - elapsed
-					if remain := time.Until(deadline); sleep > remain {
-						sleep = remain
-					}
-					if sleep > 0 {
-						t := time.NewTimer(sleep)
-						select {
-						case <-abort:
-							t.Stop()
-							// Keep pushing the frame to completion; the
-							// watchdog has expired the write deadline, so
-							// the next write fails fast if truly aborted.
-						case <-t.C:
-						}
-					}
-				}
+				pace(rate, sent, pumpStart, deadline, abort)
 			}
 		}
 	}
@@ -313,14 +447,16 @@ func filePump(conn net.Conn, q *fileQueue, rate float64, deadline time.Time, abo
 // ACK before returning so the connection is clean for the FSTAT
 // reconciliation that follows. A read or write failure poisons the
 // control connection (the next exchange re-dials); un-ACKed files
-// simply stay unadmitted for a later epoch.
-func (c *Client) opener(conn net.Conn, br *bufio.Reader, q *fileQueue, pp int, deadline time.Time, abort <-chan struct{}) {
+// simply stay unadmitted for a later epoch. Each refill round batches
+// its OPEN lines into a single write — pp-deep pipelining costs one
+// syscall per ACK round trip, not pp — tallied into calls.
+func (c *Client) opener(conn net.Conn, br *bufio.Reader, q *fileQueue, pp int, deadline time.Time, abort <-chan struct{}, calls *atomic.Int64) {
 	if pp < 1 {
 		pp = 1
 	}
 	conn.SetReadDeadline(deadline.Add(ackSlack))
 	defer conn.SetReadDeadline(time.Time{})
-	line := make([]byte, 0, 64)
+	batch := make([]byte, 0, 512)
 	inflight := 0
 	for {
 		select {
@@ -330,21 +466,25 @@ func (c *Client) opener(conn net.Conn, br *bufio.Reader, q *fileQueue, pp int, d
 		}
 		stopping := time.Now().After(deadline)
 		if !stopping {
+			batch = batch[:0]
 			for inflight < pp {
 				idx, ok := q.nextToOpen()
 				if !ok {
 					break
 				}
-				line = append(line[:0], "OPEN "...)
-				line = append(line, c.token...)
-				line = append(line, ' ')
-				line = strconv.AppendInt(line, int64(idx), 10)
-				line = append(line, '\n')
-				if _, err := conn.Write(line); err != nil {
+				batch = append(batch, "OPEN "...)
+				batch = append(batch, c.token...)
+				batch = append(batch, ' ')
+				batch = strconv.AppendInt(batch, int64(idx), 10)
+				batch = append(batch, '\n')
+				inflight++
+			}
+			if len(batch) > 0 {
+				if _, err := conn.Write(batch); err != nil {
 					c.dropCtrl(conn)
 					return
 				}
-				inflight++
+				calls.Add(1)
 			}
 		}
 		if inflight == 0 {

@@ -3,11 +3,15 @@ package gridftp
 import (
 	"bufio"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +30,10 @@ type fileTable struct {
 	done   []bool
 	nDone  int
 	useful int64 // sum of min(got, size): duplicate-free progress
+
+	// sink, when non-nil, persists the table's payloads (the SINK
+	// command); nil discards them.
+	sink atomic.Pointer[fileSink]
 }
 
 // newFileTable builds a table for sizes; zero-length files are done
@@ -47,8 +55,9 @@ func newFileTable(sizes []int64) *fileTable {
 
 // add credits n received bytes to file idx, maintaining the done count
 // and the duplicate-free useful total (got beyond the file's size —
-// a resend after a lost stripe — counts toward neither).
-func (ft *fileTable) add(idx int, n int64) {
+// a resend after a lost stripe — counts toward neither). It reports
+// whether this credit completed the file.
+func (ft *fileTable) add(idx int, n int64) (completed bool) {
 	ft.mu.Lock()
 	oldUseful := min(ft.got[idx], ft.sizes[idx])
 	ft.got[idx] += n
@@ -56,8 +65,25 @@ func (ft *fileTable) add(idx int, n int64) {
 	if !ft.done[idx] && ft.got[idx] >= ft.sizes[idx] {
 		ft.done[idx] = true
 		ft.nDone++
+		completed = true
 	}
 	ft.mu.Unlock()
+	return completed
+}
+
+// sizeOf returns file idx's manifest size.
+func (ft *fileTable) sizeOf(idx int) int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.sizes[idx]
+}
+
+// setSink installs (or with nil removes) the table's persistence
+// sink, releasing the handles of the one it replaces.
+func (ft *fileTable) setSink(fs *fileSink) {
+	if old := ft.sink.Swap(fs); old != nil && old != fs {
+		old.release()
+	}
 }
 
 // stats returns the done count and duplicate-free received bytes.
@@ -112,13 +138,147 @@ func (s *Server) fileTableFor(token string) *fileTable {
 // registerManifest installs the file table for token. A re-sent
 // manifest with the same file count keeps the existing table — a
 // resumed session must not erase the server's per-file progress — and
-// any other shape replaces it.
+// any other shape replaces it, releasing the replaced table's sink
+// handles.
 func (s *Server) registerManifest(token string, sizes []int64) {
 	tc := s.counter(token)
-	if ft := tc.files.Load(); ft != nil && ft.count() == len(sizes) {
+	old := tc.files.Load()
+	if old != nil && old.count() == len(sizes) {
 		return
 	}
 	tc.files.Store(newFileTable(sizes))
+	if old != nil {
+		old.setSink(nil)
+	}
+}
+
+// sinkOpenFiles counts sink file handles currently open process-wide;
+// the fuzz harness asserts hostile inputs leak none.
+var sinkOpenFiles atomic.Int64
+
+// maxSinkHandles caps the open handles one sink caches; beyond it an
+// arbitrary handle is evicted and reopened on that file's next write.
+const maxSinkHandles = 128
+
+// fileSink persists one token's framed payloads as index-named files
+// under the token's sink directory. The single lock covers both the
+// handle cache and the writes: a pwrite must not race the eviction or
+// release of its handle.
+type fileSink struct {
+	mu      sync.Mutex
+	dir     string
+	handles map[int]*os.File
+	closed  bool
+}
+
+// newFileSink returns a sink writing under dir.
+func newFileSink(dir string) *fileSink {
+	return &fileSink{dir: dir, handles: make(map[int]*os.File)}
+}
+
+// writeAt persists p at offset off of file idx.
+func (fs *fileSink) writeAt(idx int, p []byte, off int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return os.ErrClosed
+	}
+	f, ok := fs.handles[idx]
+	if !ok {
+		if len(fs.handles) >= maxSinkHandles {
+			for i, h := range fs.handles {
+				h.Close()
+				sinkOpenFiles.Add(-1)
+				delete(fs.handles, i)
+				break
+			}
+		}
+		var err error
+		f, err = os.OpenFile(filepath.Join(fs.dir, fmt.Sprintf("%06d", idx)), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		sinkOpenFiles.Add(1)
+		fs.handles[idx] = f
+	}
+	_, err := f.WriteAt(p, off)
+	return err
+}
+
+// closeIdx drops file idx's cached handle (the file completed, so the
+// cache slot is better spent on a file still in flight).
+func (fs *fileSink) closeIdx(idx int) {
+	fs.mu.Lock()
+	if f, ok := fs.handles[idx]; ok {
+		f.Close()
+		sinkOpenFiles.Add(-1)
+		delete(fs.handles, idx)
+	}
+	fs.mu.Unlock()
+}
+
+// release closes every cached handle and refuses further writes.
+func (fs *fileSink) release() {
+	fs.mu.Lock()
+	for i, f := range fs.handles {
+		f.Close()
+		sinkOpenFiles.Add(-1)
+		delete(fs.handles, i)
+	}
+	fs.closed = true
+	fs.mu.Unlock()
+}
+
+// sinkDirName maps a token to a directory name that cannot escape the
+// sink root: unsafe bytes are masked, the length is bounded, and a
+// short FNV hash keeps distinct tokens from colliding after masking.
+func sinkDirName(token string) string {
+	h := fnv.New32a()
+	io.WriteString(h, token)
+	safe := make([]byte, 0, 24)
+	for i := 0; i < len(token) && len(safe) < 24; i++ {
+		c := token[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return fmt.Sprintf("%s-%08x", safe, h.Sum32())
+}
+
+// serveSink handles SINK <token>: it switches the token's framed data
+// plane from discarding payloads to persisting them under the
+// server's sink root (Server.SetSink). Requires a prior MANIFEST and
+// a configured sink; either missing is an ERR. Idempotent for a token
+// already sinking.
+func (s *Server) serveSink(w io.Writer, fields []string) bool {
+	if len(fields) != 2 {
+		fmt.Fprintf(w, "ERR bad SINK\n")
+		return false
+	}
+	root := s.sinkDir()
+	if root == "" {
+		fmt.Fprintf(w, "ERR sink not configured\n")
+		return false
+	}
+	ft := s.fileTableFor(fields[1])
+	if ft == nil {
+		fmt.Fprintf(w, "ERR SINK before MANIFEST\n")
+		return false
+	}
+	if ft.sink.Load() == nil {
+		dir := filepath.Join(root, sinkDirName(fields[1]))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			s.logf("gridftp: sink: %v", err)
+			fmt.Fprintf(w, "ERR sink unavailable\n")
+			return false
+		}
+		ft.setSink(newFileSink(dir))
+	}
+	fmt.Fprintf(w, "OK\n")
+	return true
 }
 
 // connWriter serializes line writes to a control connection, so the
@@ -256,12 +416,17 @@ func (s *Server) serveResync(w io.Writer, fields []string) bool {
 // and other tokens' tables are untouched. A truncated final frame
 // (stripe killed mid-file) credits what arrived — the client resends
 // the deficit after reconciling.
-func (s *Server) serveDataFramed(br *bufio.Reader, token string) {
+func (s *Server) serveDataFramed(conn net.Conn, br *bufio.Reader, token string) {
 	tc := s.counter(token)
 	m := s.metrics.Load()
-	bufp := dataBufPool.Get().(*[]byte)
-	defer dataBufPool.Put(bufp)
+	bufp := fileDrainPool.Get().(*[]byte)
+	defer fileDrainPool.Put(bufp)
 	buf := *bufp
+	// Discard mode tries the truncating receive first: payload bytes
+	// the kernel can drop in place never cross into userspace. One
+	// rejected attempt (non-Linux conn types, old kernels) disables it
+	// for the connection's lifetime.
+	tryTrunc := true
 	for {
 		line, err := readLine(br)
 		if err != nil {
@@ -284,22 +449,86 @@ func (s *Server) serveDataFramed(br *bufio.Reader, token string) {
 			s.logf("gridftp: frame for file %d outside manifest", idx)
 			return
 		}
-		for rem := length; rem > 0; {
+		sink := ft.sink.Load()
+		if sink != nil {
+			// A persisted frame must stay inside the manifest size:
+			// a hostile offset would otherwise make pwrite allocate
+			// an arbitrarily large sparse file. (The check is
+			// overflow-safe: off <= sz first, then length against the
+			// non-negative remainder.) Discard mode keeps the lenient
+			// behavior — bytes past the size count toward nothing.
+			if sz := ft.sizeOf(idx); off > sz || length > sz-off {
+				s.logf("gridftp: sink frame for file %d outside its %d bytes", idx, ft.sizeOf(idx))
+				return
+			}
+		}
+		for rem, pos := length, off; rem > 0; {
+			if sink == nil && tryTrunc && br.Buffered() == 0 {
+				ok, terr := discardPayload(conn, rem, func(k int64) {
+					rem -= k
+					tc.n.Add(k)
+					m.AddBytes(k)
+					ft.add(idx, k)
+					s.touchToken(tc)
+				})
+				if ok {
+					if terr != nil {
+						return
+					}
+					continue
+				}
+				tryTrunc = false
+			}
 			want := rem
 			if want > int64(len(buf)) {
 				want = int64(len(buf))
 			}
+			if b := int64(br.Buffered()); sink == nil && tryTrunc && b > 0 && want > b {
+				// Only the header read's overshoot is buffered; drain
+				// just that through the copy path and let the socket
+				// remainder take the truncating receive.
+				want = b
+			}
 			n, err := br.Read(buf[:want])
 			if n > 0 {
+				if sink != nil {
+					if werr := sink.writeAt(idx, buf[:n], pos); werr != nil {
+						// Nothing persisted: leave the read uncredited,
+						// so receiver truth stays what is actually on
+						// disk and the client resends the deficit after
+						// reconciling.
+						s.logf("gridftp: sink write: %v", werr)
+						return
+					}
+				}
+				pos += int64(n)
 				rem -= int64(n)
 				tc.n.Add(int64(n))
 				m.AddBytes(int64(n))
-				ft.add(idx, int64(n))
-				tc.touch()
+				if ft.add(idx, int64(n)) && sink != nil {
+					sink.closeIdx(idx)
+				}
+				s.touchToken(tc)
 			}
 			if err != nil {
 				return
 			}
 		}
 	}
+}
+
+// fileDrainChunk is the framed data plane's receive buffer size. The
+// zero-copy pump delivers whole multi-MiB leases in one kernel burst;
+// draining them 64 KiB at a time costs 16x the read syscalls and, on
+// small hosts, lets the receive queue back up far enough to stall the
+// sender's ACK clock. A 1 MiB drain keeps the receiver ahead of
+// sendfile-sized bursts at one pooled buffer per active stream.
+const fileDrainChunk = 1 << 20
+
+// fileDrainPool recycles the framed plane's receive buffers.
+var fileDrainPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, fileDrainChunk)
+		return &buf
+	},
 }

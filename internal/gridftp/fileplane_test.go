@@ -560,6 +560,18 @@ func FuzzServerControl(f *testing.F) {
 		strings.Repeat("MANIFEST t 1\n1\n", 20),
 		"\x00\xff\n",
 		strings.Repeat("x", 300) + "\n", // over maxLineLen
+		// SINK: before manifest, malformed, hostile token names, and
+		// sinked frames with out-of-bounds offsets and lengths.
+		"SINK t\n",
+		"SINK\n",
+		"SINK t extra\n",
+		"SINK " + strings.Repeat("A", 200) + "\n",
+		"MANIFEST ../../evil 1\n10\nSINK ../../evil\n",
+		"MANIFEST t 1\n10\nSINK t\nSINK t\nDATAF t\nFILE 0 0 10\n0123456789",
+		"MANIFEST t 1\n10\nSINK t\nDATAF t\nFILE 0 8 10\n0123456789",
+		"MANIFEST t 1\n10\nSINK t\nDATAF t\nFILE 0 99999999999999 5\nabcde",
+		"MANIFEST t 1\n10\nSINK t\nDATAF t\nFILE 0 0 5\nabc", // truncated sink frame
+		"MANIFEST t 2\n10\n10\nSINK t\nDATAF t\nFILE 1 0 10\n0123456789FILE 0 0 10\n0123456789",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -570,6 +582,10 @@ func FuzzServerControl(f *testing.F) {
 			t.Fatal(err)
 		}
 		defer s.Close()
+		// A sink root makes the SINK verbs land real pwrites, so the
+		// hostile frames exercise the bounds checks and the handle
+		// cache, not just the parser.
+		s.SetSink(t.TempDir())
 		// A bystander token with a registered manifest: hostile traffic
 		// against other tokens must not touch it.
 		kc, err := net.Dial("tcp", s.Addr())
@@ -607,6 +623,11 @@ func FuzzServerControl(f *testing.F) {
 		s.expireTokens(time.Now().Add(24 * time.Hour))
 		if n := s.Tokens(); n != 0 {
 			t.Fatalf("%d tokens leaked past the TTL janitor", n)
+		}
+		// Every sink handle the input may have opened must be closed
+		// once the server and janitor have quiesced.
+		if n := sinkOpenFiles.Load(); n != 0 {
+			t.Fatalf("%d sink file handles leaked", n)
 		}
 	})
 }

@@ -31,8 +31,24 @@ type tokenCounter struct {
 	files      atomic.Pointer[fileTable]
 }
 
-// touch records activity on the token.
+// touch records activity on the token at wall-clock accuracy (the
+// control path; per-read data paths use touchAt with the server's
+// coarse clock instead).
 func (tc *tokenCounter) touch() { tc.lastActive.Store(time.Now().UnixNano()) }
+
+// touchAt records activity at a caller-supplied coarse timestamp. The
+// data planes call this once per socket read, so activity tracking
+// costs an atomic load+store instead of a time.Now per read; the TTL
+// cutoff carries one janitor tick of grace for the coarseness.
+func (tc *tokenCounter) touchAt(now int64) { tc.lastActive.Store(now) }
+
+// releaseSink closes any persistence handles hung off the token's
+// file table — the token is going away (CLOSE, TTL expiry, shutdown).
+func (tc *tokenCounter) releaseSink() {
+	if ft := tc.files.Load(); ft != nil {
+		ft.setSink(nil)
+	}
+}
 
 // Server is the receiving end: it accepts control and data
 // connections, discards transferred bytes, and counts them per token.
@@ -48,6 +64,22 @@ type Server struct {
 	// fileLatency delays each OPEN's ACK (see SetFileLatency); the
 	// fault-injection hook for per-file handshake latency.
 	fileLatency atomic.Int64
+
+	// coarseNow is a coarse wall clock (unix nanos, one janitor tick
+	// of resolution) the data paths read instead of calling time.Now
+	// per socket read; the janitor keeps it current.
+	coarseNow atomic.Int64
+
+	// wallTouch forces the data paths back to per-read time.Now
+	// stamping; only benchmarks set it, to measure what the coarse
+	// clock saves.
+	wallTouch atomic.Bool
+
+	// sinkRoot, when set, is the directory under which framed file
+	// payloads are persisted for tokens that request it with SINK
+	// (per-token subdirectories, index-named files); nil discards
+	// payloads (the default).
+	sinkRoot atomic.Pointer[string]
 
 	// metrics holds the observation instruments; nil disables them.
 	// Atomic so SetObserver is safe while traffic is flowing.
@@ -81,6 +113,7 @@ func ServeListener(ln net.Listener) *Server {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.tokenTTL.Store(int64(defaultTokenTTL))
+	s.coarseNow.Store(time.Now().UnixNano())
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.janitor()
@@ -99,6 +132,28 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 // SetTokenTTL sets the idle expiry for token counters; non-positive
 // disables expiry. The default is 5 minutes.
 func (s *Server) SetTokenTTL(d time.Duration) { s.tokenTTL.Store(int64(d)) }
+
+// SetSink enables payload persistence: framed file payloads of tokens
+// that request it (the client's SINK exchange,
+// ClientConfig.RequestSink) are written under dir — one subdirectory
+// per token, one index-named file per manifest entry — instead of
+// being discarded. Empty disables (the default). Safe to call while
+// serving; tokens that already negotiated a sink keep it.
+func (s *Server) SetSink(dir string) {
+	if dir == "" {
+		s.sinkRoot.Store(nil)
+		return
+	}
+	s.sinkRoot.Store(&dir)
+}
+
+// sinkDir returns the configured sink root, or "".
+func (s *Server) sinkDir() string {
+	if p := s.sinkRoot.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // SetObserver registers the server's metrics (connections, received
 // bytes, live and expired tokens) with o; see OBSERVABILITY.md. A nil
@@ -145,6 +200,13 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Handlers have drained: release every token's sink handles. The
+	// counters themselves stay queryable after Close.
+	s.mu.Lock()
+	for _, tc := range s.received {
+		tc.releaseSink()
+	}
+	s.mu.Unlock()
 	return err
 }
 
@@ -182,32 +244,49 @@ func (s *Server) counter(token string) *tokenCounter {
 	return tc
 }
 
-// dropToken releases token's counter (the CLOSE command).
+// dropToken releases token's counter (the CLOSE command) and any sink
+// handles hung off it.
 func (s *Server) dropToken(token string) {
 	s.mu.Lock()
+	tc := s.received[token]
 	delete(s.received, token)
 	live := len(s.received)
 	s.mu.Unlock()
+	if tc != nil {
+		tc.releaseSink()
+	}
 	s.metrics.Load().SetTokens(live)
 }
 
-// expireTokens drops counters idle for longer than the TTL.
+// coarseTick is the janitor's period and therefore the resolution of
+// the coarse activity clock.
+const coarseTick = 100 * time.Millisecond
+
+// expireTokens drops counters idle for longer than the TTL. The
+// cutoff concedes one janitor tick of grace: data-path activity is
+// stamped with the coarse clock, which lags real time by up to a
+// tick, and an actively receiving token must never expire.
 func (s *Server) expireTokens(now time.Time) {
 	ttl := time.Duration(s.tokenTTL.Load())
 	if ttl <= 0 {
 		return
 	}
-	cutoff := now.Add(-ttl).UnixNano()
+	cutoff := now.Add(-ttl - coarseTick).UnixNano()
 	expired := 0
+	var dropped []*tokenCounter
 	s.mu.Lock()
 	for tok, tc := range s.received {
 		if tc.lastActive.Load() < cutoff {
 			delete(s.received, tok)
+			dropped = append(dropped, tc)
 			expired++
 		}
 	}
 	live := len(s.received)
 	s.mu.Unlock()
+	for _, tc := range dropped {
+		tc.releaseSink()
+	}
 	if expired > 0 {
 		m := s.metrics.Load()
 		m.Expired(expired)
@@ -215,17 +294,20 @@ func (s *Server) expireTokens(now time.Time) {
 	}
 }
 
-// janitor periodically expires idle token counters until Close.
+// janitor keeps the coarse clock current and expires idle token
+// counters until Close.
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	tick := time.NewTicker(100 * time.Millisecond)
+	tick := time.NewTicker(coarseTick)
 	defer tick.Stop()
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-tick.C:
-			s.expireTokens(time.Now())
+			now := time.Now()
+			s.coarseNow.Store(now.UnixNano())
+			s.expireTokens(now)
 		}
 	}
 }
@@ -302,8 +384,8 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(conn, "ERR bad DATAF header\n")
 			return
 		}
-		s.serveDataFramed(br, fields[1])
-	case "START", "ADJ", "STAT", "CLOSE", "MANIFEST", "OPEN", "FSTAT", "RESYNC":
+		s.serveDataFramed(conn, br, fields[1])
+	case "START", "ADJ", "STAT", "CLOSE", "MANIFEST", "OPEN", "FSTAT", "RESYNC", "SINK":
 		s.serveControl(conn, br, fields)
 	default:
 		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
@@ -320,6 +402,17 @@ var dataBufPool = sync.Pool{
 	},
 }
 
+// touchToken stamps tc's activity clock from the data path: the
+// coarse clock normally, wall time under the wallTouch benchmark
+// toggle.
+func (s *Server) touchToken(tc *tokenCounter) {
+	if s.wallTouch.Load() {
+		tc.touch()
+		return
+	}
+	tc.touchAt(s.coarseNow.Load())
+}
+
 // serveData discards the connection's byte stream into the token's
 // counter. The buffered reader may already hold payload bytes.
 func (s *Server) serveData(br *bufio.Reader, token string) {
@@ -332,7 +425,7 @@ func (s *Server) serveData(br *bufio.Reader, token string) {
 		n, err := br.Read(buf)
 		tc.n.Add(int64(n))
 		m.AddBytes(int64(n))
-		tc.touch()
+		s.touchToken(tc)
 		if err != nil {
 			return
 		}
@@ -394,6 +487,10 @@ func (s *Server) serveControl(conn net.Conn, br *bufio.Reader, first []string) {
 			}
 		case "RESYNC":
 			if !s.serveResync(w, fields) {
+				return
+			}
+		case "SINK":
+			if !s.serveSink(w, fields) {
 				return
 			}
 		default:

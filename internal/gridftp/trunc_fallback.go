@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64) || dstune_nozerocopy
+
+package gridftp
+
+import "net"
+
+// discardPayload reports that truncating receives are unavailable, so
+// the framed drain keeps its portable copying path. Paired with the
+// dstune_nozerocopy build tag this also gives the A/B benchmark a
+// build with every kernel fast path off.
+func discardPayload(net.Conn, int64, func(int64)) (bool, error) {
+	return false, nil
+}

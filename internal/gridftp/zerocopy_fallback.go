@@ -1,0 +1,20 @@
+//go:build !linux || dstune_nozerocopy
+
+package gridftp
+
+import (
+	"errors"
+	"net"
+	"os"
+)
+
+// zeroCopyAvailable is false in this build: file payload moves through
+// the portable pread+writev pump, which produces a byte-identical
+// stream.
+const zeroCopyAvailable = false
+
+// sendFileSegment is unreachable when zeroCopyAvailable is false; the
+// stub keeps the call site portable.
+func sendFileSegment(*net.TCPConn, *os.File, int64, int64) (int64, error) {
+	return 0, errors.New("gridftp: zero-copy unavailable in this build")
+}

@@ -61,6 +61,13 @@ const (
 	// EventFileCompleted marks dataset files finishing per receiver
 	// truth: Files carries how many completed during the epoch.
 	EventFileCompleted EventType = "FileCompleted"
+	// EventStripeKernelStats carries one data stripe's kernel TCP
+	// sample at an epoch boundary (getsockopt(TCP_INFO)): Stripe
+	// indexes the surviving stripe, RTT/RTTVar are the kernel's
+	// smoothed estimates in seconds, Cwnd the congestion window in
+	// segments, Rate the delivery-rate estimate in bytes/second, and
+	// Retrans the stripe's cumulative retransmit counter.
+	EventStripeKernelStats EventType = "StripeKernelStats"
 )
 
 // EventTypes lists every event type the stack can emit, in a stable
@@ -71,7 +78,7 @@ func EventTypes() []EventType {
 		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
 		EventCheckpointWritten, EventFaultInjected, EventWarmStart,
 		EventJobAdmitted, EventJobAdopted, EventJobEvicted,
-		EventFileCompleted,
+		EventFileCompleted, EventStripeKernelStats,
 	}
 }
 
@@ -115,6 +122,23 @@ type Event struct {
 	Degraded int `json:"degraded,omitempty"`
 	// Files counts dataset files completed (FileCompleted only).
 	Files int `json:"files,omitempty"`
+	// Stripe indexes the data stripe (StripeKernelStats only).
+	Stripe int `json:"stripe,omitempty"`
+	// RTT is the kernel's smoothed round-trip estimate in seconds
+	// (StripeKernelStats only).
+	RTT float64 `json:"rtt,omitempty"`
+	// RTTVar is the kernel's RTT variance estimate in seconds
+	// (StripeKernelStats only).
+	RTTVar float64 `json:"rttvar,omitempty"`
+	// Cwnd is the congestion window in segments (StripeKernelStats
+	// only).
+	Cwnd int `json:"cwnd,omitempty"`
+	// Rate is the kernel's delivery-rate estimate in bytes/second
+	// (StripeKernelStats only).
+	Rate float64 `json:"rate,omitempty"`
+	// Retrans is the stripe's cumulative retransmitted-segment count
+	// (StripeKernelStats only).
+	Retrans int64 `json:"retrans,omitempty"`
 	// Delta is the relative change driving Observe/RetriggerEpsilon,
 	// as a fraction (0.2 = 20%).
 	Delta float64 `json:"delta,omitempty"`

@@ -415,6 +415,11 @@ type Histogram struct {
 // bounds spanning 1 ms to ~65 s in powers of four.
 var DefaultLatencyBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536}
 
+// DefaultRateBuckets is a bytes/second-denominated set of bounds
+// spanning 1 MB/s to ~64 GB/s in powers of four, for throughput-like
+// distributions (the kernel's per-stripe delivery-rate estimate).
+var DefaultRateBuckets = []float64{1e6, 4e6, 16e6, 64e6, 256e6, 1.024e9, 4.096e9, 16.384e9, 65.536e9}
+
 func newHistogram(buckets []float64) *Histogram {
 	bounds := make([]float64, 0, len(buckets))
 	for _, b := range buckets {

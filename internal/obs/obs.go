@@ -140,6 +140,18 @@ const (
 	// MetricHistoryRecords counts tuning outcomes recorded into the
 	// history store.
 	MetricHistoryRecords = "dstune_history_records_total"
+	// MetricStripeRTT is the distribution of per-stripe kernel
+	// smoothed RTT samples at epoch boundaries (seconds).
+	MetricStripeRTT = "gridftp_stripe_rtt_seconds"
+	// MetricStripeCwnd is the last sampled per-stripe congestion
+	// window (segments).
+	MetricStripeCwnd = "gridftp_stripe_cwnd_segments"
+	// MetricStripeRate is the distribution of per-stripe kernel
+	// delivery-rate estimates (bytes/s).
+	MetricStripeRate = "gridftp_stripe_delivery_bytes_per_second"
+	// MetricStripeRetrans counts retransmitted segments observed
+	// across the stripe between epoch-boundary samples.
+	MetricStripeRetrans = "gridftp_stripe_retransmits_total"
 )
 
 // EpochStats is the per-epoch observation a SessionObs ingests. It
@@ -282,6 +294,10 @@ func (o *Observer) Session(id string) *SessionObs {
 		deadTime:   o.reg.Histogram(MetricDeadTime, "Per-epoch dead time in seconds.", DefaultLatencyBuckets, lbl),
 		ckSeconds:  o.reg.Histogram(MetricCheckpointSeconds, "Checkpoint write latency in wall seconds.", DefaultLatencyBuckets, lbl),
 		firstByte:  o.reg.Histogram(MetricFirstByteLag, "Delay from epoch start to first payload byte in seconds.", DefaultLatencyBuckets, lbl),
+		stripeRTT:  o.reg.Histogram(MetricStripeRTT, "Per-stripe kernel smoothed RTT at epoch boundaries in seconds.", DefaultLatencyBuckets, lbl),
+		stripeRate: o.reg.Histogram(MetricStripeRate, "Per-stripe kernel delivery-rate estimate in bytes/second.", DefaultRateBuckets, lbl),
+		stripeCwnd: o.reg.Gauge(MetricStripeCwnd, "Last sampled per-stripe congestion window in segments.", lbl),
+		stripeRtx:  o.reg.Counter(MetricStripeRetrans, "Retransmitted segments observed between epoch-boundary samples.", lbl),
 	}
 	s.st.ID = id
 
@@ -303,11 +319,13 @@ type SessionObs struct {
 	o  *Observer
 	id string
 
-	epochs, bytes, dials, reused, retries, degraded *Counter
-	transient, retriggers, ckWrites, evictions      *Counter
-	histHits, histMisses, histRecs, files           *Counter
-	throughput, bestCase, nc, np, pp, budget, pool  *Gauge
-	deadTime, ckSeconds, firstByte                  *Histogram
+	epochs, bytes, dials, reused, retries, degraded  *Counter
+	transient, retriggers, ckWrites, evictions       *Counter
+	histHits, histMisses, histRecs, files, stripeRtx *Counter
+	throughput, bestCase, nc, np, pp, budget, pool   *Gauge
+	stripeCwnd                                       *Gauge
+	deadTime, ckSeconds, firstByte, stripeRTT        *Histogram
+	stripeRate                                       *Histogram
 
 	mu sync.Mutex
 	st SessionStatus
@@ -530,6 +548,35 @@ func (s *SessionObs) StripeEvicted(t float64, detail string) {
 	}
 	s.evictions.Inc()
 	s.o.Event(Event{T: t, Type: EventStripeEvicted, Session: s.id, Detail: detail})
+}
+
+// StripeKernel records one data stripe's kernel TCP sample at an
+// epoch boundary (getsockopt(TCP_INFO)): the smoothed RTT and its
+// variance in seconds, the congestion window in segments, the
+// kernel's delivery-rate estimate in bytes/second (zero when the
+// kernel reports none), and the stripe's cumulative retransmit
+// counter.
+func (s *SessionObs) StripeKernel(t float64, stripe, cwnd int, rtt, rttvar, rate float64, retrans int64) {
+	if s == nil {
+		return
+	}
+	s.stripeRTT.Observe(rtt)
+	s.stripeCwnd.Set(float64(cwnd))
+	if rate > 0 {
+		s.stripeRate.Observe(rate)
+	}
+	s.o.Event(Event{T: t, Type: EventStripeKernelStats, Session: s.id,
+		Stripe: stripe, RTT: rtt, RTTVar: rttvar, Cwnd: cwnd, Rate: rate,
+		Retrans: retrans})
+}
+
+// KernelRetrans counts n retransmitted segments observed across the
+// stripe since the previous epoch-boundary sample.
+func (s *SessionObs) KernelRetrans(n int64) {
+	if s == nil {
+		return
+	}
+	s.stripeRtx.Add(n)
 }
 
 // SetPool updates the warm-pool gauge without emitting an event (used

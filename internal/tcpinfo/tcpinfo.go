@@ -1,0 +1,46 @@
+// Package tcpinfo samples the kernel's per-connection TCP state —
+// RTT, congestion window, delivery rate, retransmissions — through
+// getsockopt(TCP_INFO). This is the signal plane the adaptive-sampling
+// literature (Nine et al., arXiv:1707.09455; Arslan & Kosar,
+// arXiv:1708.05425) builds on: kernel counters distinguish "the link
+// is lossy" from "the endpoint is slow" where epoch-level throughput
+// alone cannot.
+//
+// Sampling is Linux-only and strictly best-effort: on other platforms,
+// and for connections that do not expose a raw file descriptor
+// (wrapped test connections, in-memory pipes), Sample reports ok=false
+// and costs nothing. Callers treat a missing sample as "no kernel
+// signal", never as an error.
+package tcpinfo
+
+import (
+	"net"
+	"time"
+)
+
+// Info is one connection's kernel TCP snapshot at the moment of
+// sampling. Counters (TotalRetrans) are cumulative over the
+// connection's lifetime; gauges (RTT, SndCwnd, DeliveryRate) are the
+// kernel's current smoothed estimates.
+type Info struct {
+	// RTT is the smoothed round-trip time estimate.
+	RTT time.Duration
+	// RTTVar is the RTT variance estimate.
+	RTTVar time.Duration
+	// SndCwnd is the congestion window, in segments.
+	SndCwnd uint32
+	// DeliveryRate is the kernel's most recent goodput estimate in
+	// bytes/second (zero on kernels that predate tcp_info.delivery_rate
+	// or before any data has been delivered).
+	DeliveryRate uint64
+	// TotalRetrans is the cumulative count of retransmitted segments.
+	TotalRetrans uint32
+}
+
+// Sample reads conn's kernel TCP state. It reports ok=false — at zero
+// syscall cost — when the platform has no TCP_INFO, when conn does not
+// expose a raw file descriptor (wrapped or synthetic connections), or
+// when the getsockopt itself fails.
+func Sample(conn net.Conn) (Info, bool) {
+	return sample(conn)
+}

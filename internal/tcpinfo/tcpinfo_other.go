@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tcpinfo
+
+import "net"
+
+// sample is the portable no-op: platforms without TCP_INFO report no
+// sample, and callers fall back to epoch-level throughput alone.
+func sample(net.Conn) (Info, bool) { return Info{}, false }

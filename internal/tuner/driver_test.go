@@ -14,6 +14,7 @@ func strategyNames() []string {
 	return []string{
 		"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
 		"two-phase", "warm:cs-tuner", "warm:cd-tuner",
+		"kernel-aware:cs-tuner", "warm:kernel-aware:cs-tuner",
 	}
 }
 

@@ -1,0 +1,244 @@
+package tuner
+
+import (
+	"reflect"
+	"testing"
+
+	"dstune/internal/obs"
+	"dstune/internal/xfer"
+)
+
+// kernelCfg is the shared configuration of the kernel-aware tests: a
+// 1-D box with a 10% ε so a 50% dip is unambiguously significant.
+func kernelCfg(observer *obs.Observer) Config {
+	cfg := simCfg()
+	cfg.Tolerance = 10
+	cfg.Restart = FromCurrent
+	if observer != nil {
+		cfg.Obs = observer.Session("ka")
+	}
+	return cfg
+}
+
+// settle drives s with a constant fitness until the inner search
+// converges to its monitor phase (the proposal stops moving), then
+// returns the incumbent vector.
+func settle(t *testing.T, s Strategy, fitness float64) []int {
+	t.Helper()
+	var x []int
+	stable := 0
+	for i := 0; i < 200; i++ {
+		nx, done := s.Propose()
+		if done {
+			t.Fatal("strategy finished during settling")
+		}
+		if reflect.DeepEqual(nx, x) {
+			stable++
+			if stable >= 5 {
+				return x
+			}
+		} else {
+			stable = 0
+		}
+		x = nx
+		s.Observe(xfer.Report{Throughput: fitness, BestCase: fitness})
+	}
+	t.Fatal("search did not settle in 200 epochs")
+	return nil
+}
+
+// retriggers counts RetriggerEpsilon events recorded so far.
+func retriggers(observer *obs.Observer) int {
+	n := 0
+	for _, ev := range observer.Recorder().Events() {
+		if ev.Type == obs.EventRetriggerEpsilon {
+			n++
+		}
+	}
+	return n
+}
+
+// TestKernelAwareRegistration: the prefix registers, refuses to nest,
+// composes under warm: (and only in that order), and canonicalizes its
+// inner alias.
+func TestKernelAwareRegistration(t *testing.T) {
+	if !KnownStrategy("kernel-aware:cs-tuner") {
+		t.Fatal("kernel-aware:cs-tuner unknown")
+	}
+	if !KnownStrategy("warm:kernel-aware:cs-tuner") {
+		t.Fatal("warm:kernel-aware:cs-tuner unknown")
+	}
+	for _, bad := range []string{
+		"kernel-aware:kernel-aware:cs-tuner",
+		"kernel-aware:warm:cs-tuner",
+		"kernel-aware:bogus",
+		"kernel-aware:",
+	} {
+		if KnownStrategy(bad) {
+			t.Fatalf("KnownStrategy(%q) = true", bad)
+		}
+		if _, err := NewStrategy(bad, kernelCfg(nil)); err == nil {
+			t.Fatalf("NewStrategy(%q) succeeded", bad)
+		}
+	}
+	s, err := NewStrategy("kernel-aware:static", kernelCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "kernel-aware:default" {
+		t.Fatalf("Name() = %q, want kernel-aware:default", s.Name())
+	}
+	if got := canonicalName("warm:kernel-aware:static"); got != "warm:kernel-aware:default" {
+		t.Fatalf("canonicalName = %q", got)
+	}
+	w, err := NewStrategy("warm:kernel-aware:cs-tuner", kernelCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "warm:kernel-aware:cs-tuner" {
+		t.Fatalf("composed Name() = %q", w.Name())
+	}
+}
+
+// TestKernelAwareDampsRetransDips: once the inner cs-tuner is in its
+// monitor phase, a significant dip accompanied by kernel-reported
+// retransmissions is damped — no retrigger, incumbent held — for at
+// most kernelDampCap consecutive epochs, after which the dip passes
+// through and the search restarts.
+func TestKernelAwareDampsRetransDips(t *testing.T) {
+	observer := obs.NewObserver(obs.ObserverConfig{})
+	s, err := NewKernelAware("cs-tuner", kernelCfg(observer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 100e6
+	incumbent := settle(t, s, base)
+	before := retriggers(observer)
+
+	lossyDip := xfer.Report{
+		Throughput: base / 2, BestCase: base / 2,
+		Kernel: &xfer.KernelStats{RetransDelta: 7},
+	}
+	for i := 1; i <= kernelDampCap; i++ {
+		s.Observe(lossyDip)
+		if got := s.Damped(); got != i {
+			t.Fatalf("after lossy dip %d: Damped() = %d, want %d", i, got, i)
+		}
+		if retriggers(observer) != before {
+			t.Fatalf("lossy dip %d retriggered the search", i)
+		}
+		if x, _ := s.Propose(); !reflect.DeepEqual(x, incumbent) {
+			t.Fatalf("lossy dip %d moved the proposal to %v (incumbent %v)", i, x, incumbent)
+		}
+	}
+
+	// Past the cap the dip is real no matter what the kernel says.
+	s.Observe(lossyDip)
+	if got := s.Damped(); got != 0 {
+		t.Fatalf("after capped dip: Damped() = %d, want 0", got)
+	}
+	if retriggers(observer) != before+1 {
+		t.Fatal("dip beyond the damp cap did not retrigger the search")
+	}
+}
+
+// TestKernelAwarePassesThroughCleanDips: a significant dip with no
+// retransmissions (the paper's CPU-contention case) or with no kernel
+// samples at all (Sim fabric) retriggers immediately.
+func TestKernelAwarePassesThroughCleanDips(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		kernel *xfer.KernelStats
+	}{
+		{"no-samples", nil},
+		{"no-retrans", &xfer.KernelStats{RetransDelta: 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			observer := obs.NewObserver(obs.ObserverConfig{})
+			s, err := NewKernelAware("cs-tuner", kernelCfg(observer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const base = 100e6
+			settle(t, s, base)
+			before := retriggers(observer)
+			s.Observe(xfer.Report{Throughput: base / 2, BestCase: base / 2, Kernel: tc.kernel})
+			if s.Damped() != 0 {
+				t.Fatalf("clean dip was damped")
+			}
+			if retriggers(observer) != before+1 {
+				t.Fatal("clean dip did not retrigger the search")
+			}
+		})
+	}
+}
+
+// TestKernelAwareRecoveryKeepsBaseline: a damped dip must not poison
+// the wrapper's baseline — when throughput recovers to the pre-dip
+// level the recovery is not itself a significant change.
+func TestKernelAwareRecoveryKeepsBaseline(t *testing.T) {
+	observer := obs.NewObserver(obs.ObserverConfig{})
+	s, err := NewKernelAware("cs-tuner", kernelCfg(observer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 100e6
+	settle(t, s, base)
+	before := retriggers(observer)
+	s.Observe(xfer.Report{Throughput: base / 2, BestCase: base / 2, Kernel: &xfer.KernelStats{RetransDelta: 3}})
+	s.Observe(xfer.Report{Throughput: base, BestCase: base})
+	if s.Damped() != 0 {
+		t.Fatal("recovery left the wrapper damped")
+	}
+	if retriggers(observer) != before {
+		t.Fatal("recovery from a damped dip retriggered the search")
+	}
+}
+
+// TestKernelAwareSnapshotRoundTrip: a mid-damp snapshot restores into
+// an identically configured strategy with the damp count, baseline,
+// and inner search state intact.
+func TestKernelAwareSnapshotRoundTrip(t *testing.T) {
+	s, err := NewKernelAware("cs-tuner", kernelCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 100e6
+	incumbent := settle(t, s, base)
+	s.Observe(xfer.Report{Throughput: base / 2, BestCase: base / 2, Kernel: &xfer.KernelStats{RetransDelta: 1}})
+	raw, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewKernelAware("cs-tuner", kernelCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Restore(raw); err != nil {
+		t.Fatal(err)
+	}
+	if r.Damped() != 1 {
+		t.Fatalf("restored Damped() = %d, want 1", r.Damped())
+	}
+	if x, _ := r.Propose(); !reflect.DeepEqual(x, incumbent) {
+		t.Fatalf("restored proposal = %v, want %v", x, incumbent)
+	}
+	// The restored wrapper damps exactly one more epoch, like the
+	// original would.
+	r.Observe(xfer.Report{Throughput: base / 2, BestCase: base / 2, Kernel: &xfer.KernelStats{RetransDelta: 1}})
+	if r.Damped() != 2 {
+		t.Fatalf("restored wrapper Damped() = %d after second dip, want 2", r.Damped())
+	}
+
+	// Garbage and truncated states are rejected.
+	if err := r.Restore([]byte("{")); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+	if err := r.Restore([]byte(`{"last":1,"armed":true,"damped":0}`)); err == nil {
+		t.Fatal("state without inner accepted")
+	}
+	if err := r.Restore([]byte(`{"last":1,"armed":true,"damped":9,"inner":{}}`)); err == nil {
+		t.Fatal("out-of-range damp count accepted")
+	}
+}

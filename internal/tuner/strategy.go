@@ -47,13 +47,18 @@ type Strategy interface {
 
 // NewStrategy builds the named strategy — one of "default",
 // "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
-// "two-phase", or "warm:<inner>" — from cfg. The prefixed and
-// two-phase forms construct cold (no history store): a checkpointed
-// warm run resumes through this constructor by name alone, taking its
-// predicted start from the serialized state rather than a store.
+// "two-phase", "kernel-aware:<inner>", or "warm:<inner>" — from cfg.
+// The prefixed and two-phase forms construct cold (no history store):
+// a checkpointed warm run resumes through this constructor by name
+// alone, taking its predicted start from the serialized state rather
+// than a store. The prefixes compose in exactly one order:
+// "warm:kernel-aware:<inner>".
 func NewStrategy(name string, cfg Config) (Strategy, error) {
 	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
 		return NewWarmStart(inner, cfg, nil, history.Key{})
+	}
+	if inner, ok := strings.CutPrefix(name, "kernel-aware:"); ok {
+		return NewKernelAware(inner, cfg)
 	}
 	switch name {
 	case "default", "static":
@@ -77,11 +82,16 @@ func NewStrategy(name string, cfg Config) (Strategy, error) {
 }
 
 // KnownStrategy reports whether name resolves to a built-in strategy,
-// including the "warm:<inner>" prefixed form (warm wrapping does not
-// nest).
+// including the "warm:<inner>" and "kernel-aware:<inner>" prefixed
+// forms (neither wrapper nests itself, and warm goes outside
+// kernel-aware, never inside).
 func KnownStrategy(name string) bool {
 	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
 		return !strings.HasPrefix(inner, "warm:") && KnownStrategy(inner)
+	}
+	if inner, ok := strings.CutPrefix(name, "kernel-aware:"); ok {
+		return !strings.HasPrefix(inner, "kernel-aware:") &&
+			!strings.HasPrefix(inner, "warm:") && KnownStrategy(inner)
 	}
 	switch name {
 	case "default", "static", "cd-tuner", "cs-tuner", "nm-tuner",

@@ -169,6 +169,9 @@ func canonicalName(name string) string {
 	if inner, ok := strings.CutPrefix(name, "warm:"); ok {
 		return "warm:" + canonicalName(inner)
 	}
+	if inner, ok := strings.CutPrefix(name, "kernel-aware:"); ok {
+		return "kernel-aware:" + canonicalName(inner)
+	}
 	if name == "static" {
 		return "default"
 	}

@@ -115,8 +115,61 @@ type Report struct {
 	// this report within the transferer's current session — a restart
 	// diagnostic for real-socket transfers; zero when unreported.
 	Run int
+	// Syscalls counts the client-side I/O calls (write, writev,
+	// sendfile, pread) the epoch's file-plane pump issued — the
+	// syscall-discipline signal the zero-copy benchmarks gate.
+	// Real-socket dataset transfers only; omitted when zero.
+	Syscalls int64 `json:",omitempty"`
+	// Kernel carries the per-stripe kernel TCP state sampled at the
+	// epoch boundary, when the transferer supports it (real-socket
+	// transfers with TCP_INFO sampling enabled); nil otherwise —
+	// always nil on Sim, so simulated traces are unchanged.
+	Kernel *KernelStats `json:",omitempty"`
 	// Done reports that the transfer completed during this epoch.
 	Done bool
+}
+
+// StripeKernel is one data connection's kernel TCP state at an epoch
+// boundary, as reported by getsockopt(TCP_INFO).
+type StripeKernel struct {
+	// RTT is the kernel's smoothed round-trip estimate, in seconds.
+	RTT float64 `json:"rtt"`
+	// RTTVar is the RTT variance estimate, in seconds.
+	RTTVar float64 `json:"rttvar,omitempty"`
+	// Cwnd is the congestion window, in segments.
+	Cwnd int `json:"cwnd"`
+	// DeliveryRate is the kernel's goodput estimate in bytes/second
+	// (zero when the kernel does not report one).
+	DeliveryRate float64 `json:"delivery_rate,omitempty"`
+	// Retrans is the stripe's cumulative retransmitted-segment count
+	// over the connection's lifetime.
+	Retrans int64 `json:"retrans,omitempty"`
+}
+
+// KernelStats aggregates the stripe kernel samples of one epoch. It
+// is the signal that lets a strategy distinguish a lossy link (rising
+// retransmits) from a slow endpoint when throughput dips.
+type KernelStats struct {
+	// Stripes holds one sample per surviving data connection, in
+	// stripe order.
+	Stripes []StripeKernel `json:"stripes"`
+	// RetransDelta is the epoch-over-epoch growth of the summed
+	// retransmit counters across the stripe (clamped at zero when
+	// stripes were evicted or redialed between samples).
+	RetransDelta int64 `json:"retrans_delta"`
+}
+
+// MeanRTT returns the mean smoothed RTT across the sampled stripes in
+// seconds, or zero with no samples.
+func (k *KernelStats) MeanRTT() float64 {
+	if k == nil || len(k.Stripes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range k.Stripes {
+		sum += s.RTT
+	}
+	return sum / float64(len(k.Stripes))
 }
 
 // Transferer runs a transfer one control epoch at a time. It is the
