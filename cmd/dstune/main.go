@@ -14,8 +14,8 @@
 //	       -epoch 0.25 -duration 15 -shape-rate 8e6 -shape-quad 0.028
 //
 // The tuner is one of: default, cd-tuner, cs-tuner, nm-tuner, heur1,
-// heur2, model, two-phase — or any of them under a "warm:" prefix to
-// force the warm-start wrapper's name explicitly.
+// heur2, model, two-phase, rl-bandit, rl-q — or any of them under a
+// "warm:" prefix to force the warm-start wrapper's name explicitly.
 //
 // With -history FILE the process keeps a durable knowledge base of
 // past runs: the tuner warm-starts from the best-known parameters for
@@ -87,7 +87,7 @@ func main() {
 
 	mode := flag.String("mode", "sim", "sim or socket")
 	fleetPath := flag.String("fleet", "", "drive many tuned sessions from one scheduler: JSON spec file (see cmd/dstune/fleet.go)")
-	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2, model, two-phase, warm:<tuner>")
+	name := flag.String("tuner", "nm-tuner", "default, cd-tuner, cs-tuner, nm-tuner, heur1, heur2, model, two-phase, rl-bandit, rl-q, warm:<tuner>")
 	duration := flag.Float64("duration", 1800, "transfer budget in seconds (virtual in sim mode, wall-clock in socket mode)")
 	epoch := flag.Float64("epoch", 0, "control epoch seconds (default 30 sim, 0.25 socket)")
 	tolerance := flag.Float64("tolerance", 0, "significance threshold percent (default 5 sim, 30 socket)")

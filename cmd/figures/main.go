@@ -26,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5, 6, 7, 8, 9, 10, 11, claims, disk, joint")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 5, 6, 7, 8, 9, 10, 11, claims, disk, joint, dynload")
 	quick := flag.Bool("quick", false, "shorten runs (smoke mode)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "directory to write series CSVs into")
@@ -60,6 +60,8 @@ func main() {
 		err = g.disk()
 	case "joint":
 		err = g.joint()
+	case "dynload":
+		err = g.dynload()
 	case "all":
 		err = g.all()
 	default:
@@ -114,7 +116,25 @@ func (g *gen) all() error {
 	if err := g.disk(); err != nil {
 		return err
 	}
-	return g.joint()
+	if err := g.joint(); err != nil {
+		return err
+	}
+	return g.dynload()
+}
+
+// dynload prints the dynamic-load study: learned strategies
+// (rl-bandit, rl-q) against the direct searches on step, square, and
+// piecewise load schedules, scoring integral throughput and
+// re-adaptation lag.
+func (g *gen) dynload() error {
+	res, err := dstune.DynamicLoadStudy(dstune.ANLtoUChicago(),
+		dstune.DynamicLoadConfig{Run: g.rc()})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension — learned tuning vs. direct search on dynamic load")
+	fmt.Println(res.Report())
+	return nil
 }
 
 // disk prints the disk-to-disk extension study (the paper's

@@ -286,15 +286,43 @@ type (
 
 // NewStrategy builds the named strategy — one of "default",
 // "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
-// "two-phase", or any of them under a "warm:" prefix (e.g.
-// "warm:cs-tuner") — from cfg. The warm and two-phase forms built
-// here are cold (no history store); use NewWarmStartStrategy /
-// NewWarm / NewTwoPhaseTuner to attach one.
+// "two-phase", "rl-bandit", "rl-q", or any of them under a "warm:"
+// prefix (e.g. "warm:cs-tuner") — from cfg. The warm and two-phase
+// forms built here are cold (no history store); use
+// NewWarmStartStrategy / NewWarm / NewTwoPhaseTuner to attach one.
 func NewStrategy(name string, cfg TunerConfig) (Strategy, error) { return tuner.NewStrategy(name, cfg) }
 
 // KnownStrategy reports whether name resolves to a strategy
 // NewStrategy can build, including "warm:"-prefixed forms.
 func KnownStrategy(name string) bool { return tuner.KnownStrategy(name) }
+
+// StrategyNames lists every base (unprefixed) strategy name, in
+// STRATEGIES.md documentation order.
+func StrategyNames() []string { return tuner.StrategyNames() }
+
+// The learning plane: learned strategies under the same Strategy
+// contract as the direct searches, with their full policy state
+// (value tables, visit counts, RNG position) in the exported JSON
+// snapshot.
+type (
+	// RLBanditStrategy is the contextual ε-greedy bandit over a
+	// geometric (nc, np[, pp]) arm grid with load-level context
+	// buckets ("rl-bandit").
+	RLBanditStrategy = tuner.RLBanditStrategy
+	// RLBanditState is rl-bandit's complete serializable state.
+	RLBanditState = tuner.RLBanditState
+	// RLQStrategy is tabular Q-learning over (load bucket, vector)
+	// states and compass-move-or-stay actions ("rl-q").
+	RLQStrategy = tuner.RLQStrategy
+	// RLQState is rl-q's complete serializable state.
+	RLQState = tuner.RLQState
+)
+
+// NewRLBandit returns the rl-bandit learned strategy over cfg's box.
+func NewRLBandit(cfg TunerConfig) *RLBanditStrategy { return tuner.NewRLBandit(cfg) }
+
+// NewRLQ returns the rl-q learned strategy over cfg's box.
+func NewRLQ(cfg TunerConfig) *RLQStrategy { return tuner.NewRLQ(cfg) }
 
 // NewNamed returns the named strategy under the standard Driver — the
 // by-name counterpart of the NewCD/NewCS/... constructors, covering
@@ -778,6 +806,40 @@ func WarmStartLoads() []Load { return experiment.WarmStartLoads() }
 // sweep. frac and window parameterize the critical-point detector.
 func WarmStartStudy(tb Testbed, names []string, loads []Load, rc RunConfig, frac float64, window int) (*WarmStartResult, error) {
 	return experiment.WarmStartStudy(tb, names, loads, rc, frac, window)
+}
+
+type (
+	// DynamicSchedule pairs a named load schedule with its shift
+	// times for the dynamic-load study.
+	DynamicSchedule = experiment.DynamicSchedule
+	// DynamicLoadCell is one (tuner, schedule) run's scores: integral
+	// volume, mean throughput, per-shift re-adaptation lags.
+	DynamicLoadCell = experiment.DynamicLoadCell
+	// DynamicLoadResult holds a dynamic-load study's cells and the
+	// lag-detector settings.
+	DynamicLoadResult = experiment.DynamicLoadResult
+	// DynamicLoadConfig parameterizes DynamicLoadStudy.
+	DynamicLoadConfig = experiment.DynamicLoadConfig
+)
+
+// DynamicSchedules returns the study's default load schedules (step,
+// square, piecewise, constant control) over a run of the given
+// duration (zero selects 1800 s).
+func DynamicSchedules(duration float64) []DynamicSchedule {
+	return experiment.DynamicSchedules(duration)
+}
+
+// DynamicLoadTuners lists the study's default contenders: the paper's
+// three direct searches against both learned strategies.
+func DynamicLoadTuners() []string { return experiment.DynamicLoadTuners() }
+
+// DynamicLoadStudy judges learned strategies against direct search on
+// dynamic load: every tuner crossed with every schedule on one
+// simulated testbed, scoring integral throughput and the re-adaptation
+// lag after each load shift (measured against the best rolling-window
+// throughput any contender reached in that post-shift segment).
+func DynamicLoadStudy(tb Testbed, cfg DynamicLoadConfig) (*DynamicLoadResult, error) {
+	return experiment.DynamicLoadStudy(tb, cfg)
 }
 
 // The service plane: a long-running, crash-safe, multi-tenant tuning

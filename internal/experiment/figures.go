@@ -120,7 +120,8 @@ func (rc RunConfig) tunerCfg(twoParam bool) tuner.Config {
 }
 
 // newTuner builds the named tuner ("default", "cd-tuner", "cs-tuner",
-// "nm-tuner", "heur1", "heur2").
+// "nm-tuner", "heur1", "heur2", "model", "two-phase", "rl-bandit",
+// "rl-q").
 func newTuner(name string, cfg tuner.Config) (tuner.Tuner, error) {
 	switch name {
 	case "default":
@@ -137,6 +138,8 @@ func newTuner(name string, cfg tuner.Config) (tuner.Tuner, error) {
 		return tuner.NewHeur2(cfg), nil
 	case "model":
 		return tuner.NewModel(cfg), nil
+	case "rl-bandit", "rl-q", "two-phase":
+		return tuner.NewNamed(name, cfg)
 	}
 	return nil, fmt.Errorf("experiment: unknown tuner %q", name)
 }

@@ -34,6 +34,8 @@ func TestObservabilityDocCoverage(t *testing.T) {
 	s.StripeEvicted(5, "x")
 	s.WarmStart(0, []int{14}, true)
 	s.WarmStart(0, nil, false)
+	s.RLAction(6, 1, []int{14}, 3, 0.2, 1.5e9, true)
+	s.RLAction(7, 2, []int{14}, 3, 0.18, 1.5e9, false)
 	s.HistoryRecorded()
 	o.ServerMetrics().Conn()
 	o.ServerMetrics().AddBytes(1)

@@ -68,6 +68,13 @@ const (
 	// segments, Rate the delivery-rate estimate in bytes/second, and
 	// Retrans the stripe's cumulative retransmit counter.
 	EventStripeKernelStats EventType = "StripeKernelStats"
+	// EventRLAction marks a learned strategy (rl-bandit, rl-q)
+	// committing to its next action: X is the chosen vector, Bucket
+	// the load-context bucket the choice was made in, Epsilon the
+	// exploration probability in force, QValue the chosen action's
+	// current value estimate, and Detail is "explore" (the RNG forced
+	// a random action) or "exploit" (greedy argmax).
+	EventRLAction EventType = "RLAction"
 )
 
 // EventTypes lists every event type the stack can emit, in a stable
@@ -78,7 +85,7 @@ func EventTypes() []EventType {
 		EventStripeDialed, EventStripeEvicted, EventRetriggerEpsilon,
 		EventCheckpointWritten, EventFaultInjected, EventWarmStart,
 		EventJobAdmitted, EventJobAdopted, EventJobEvicted,
-		EventFileCompleted, EventStripeKernelStats,
+		EventFileCompleted, EventStripeKernelStats, EventRLAction,
 	}
 }
 
@@ -142,6 +149,14 @@ type Event struct {
 	// Delta is the relative change driving Observe/RetriggerEpsilon,
 	// as a fraction (0.2 = 20%).
 	Delta float64 `json:"delta,omitempty"`
+	// Bucket is the load-context bucket a learned strategy acted in
+	// (RLAction only).
+	Bucket int `json:"bucket,omitempty"`
+	// Epsilon is the exploration probability in force (RLAction
+	// only).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// QValue is the chosen action's value estimate (RLAction only).
+	QValue float64 `json:"q_value,omitempty"`
 	// Transient marks an EpochEnd synthesized from a transient
 	// failure.
 	Transient bool `json:"transient,omitempty"`

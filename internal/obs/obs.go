@@ -152,6 +152,16 @@ const (
 	// MetricStripeRetrans counts retransmitted segments observed
 	// across the stripe between epoch-boundary samples.
 	MetricStripeRetrans = "gridftp_stripe_retransmits_total"
+	// MetricRLExplorations counts epochs where a learned strategy's
+	// RNG forced a random (exploring) action instead of the greedy
+	// one.
+	MetricRLExplorations = "dstune_rl_explorations_total"
+	// MetricRLQValue is the value estimate of the action a learned
+	// strategy most recently committed to.
+	MetricRLQValue = "dstune_rl_q_value"
+	// MetricRLEpsilon is the learned strategy's current exploration
+	// probability (decays with context visits).
+	MetricRLEpsilon = "dstune_rl_epsilon"
 )
 
 // EpochStats is the per-epoch observation a SessionObs ingests. It
@@ -298,6 +308,9 @@ func (o *Observer) Session(id string) *SessionObs {
 		stripeRate: o.reg.Histogram(MetricStripeRate, "Per-stripe kernel delivery-rate estimate in bytes/second.", DefaultRateBuckets, lbl),
 		stripeCwnd: o.reg.Gauge(MetricStripeCwnd, "Last sampled per-stripe congestion window in segments.", lbl),
 		stripeRtx:  o.reg.Counter(MetricStripeRetrans, "Retransmitted segments observed between epoch-boundary samples.", lbl),
+		rlExplore:  o.reg.Counter(MetricRLExplorations, "Epochs where the learned strategy explored a random action.", lbl),
+		rlQ:        o.reg.Gauge(MetricRLQValue, "Value estimate of the learned strategy's chosen action.", lbl),
+		rlEps:      o.reg.Gauge(MetricRLEpsilon, "Learned strategy's current exploration probability.", lbl),
 	}
 	s.st.ID = id
 
@@ -322,8 +335,9 @@ type SessionObs struct {
 	epochs, bytes, dials, reused, retries, degraded  *Counter
 	transient, retriggers, ckWrites, evictions       *Counter
 	histHits, histMisses, histRecs, files, stripeRtx *Counter
+	rlExplore                                        *Counter
 	throughput, bestCase, nc, np, pp, budget, pool   *Gauge
-	stripeCwnd                                       *Gauge
+	stripeCwnd, rlQ, rlEps                           *Gauge
 	deadTime, ckSeconds, firstByte, stripeRTT        *Histogram
 	stripeRate                                       *Histogram
 
@@ -517,6 +531,27 @@ func (s *SessionObs) WarmStart(t float64, x []int, hit bool) {
 	}
 	s.o.Event(Event{T: t, Type: EventWarmStart, Session: s.id,
 		X: append([]int(nil), x...), Detail: detail})
+}
+
+// RLAction records a learned strategy committing to its next action:
+// the chosen vector, the load-context bucket it was chosen in, the
+// exploration probability in force, the action's value estimate, and
+// whether the RNG forced exploration. Bumps the exploration counter
+// on explore and keeps the q-value/epsilon gauges current.
+func (s *SessionObs) RLAction(t float64, epoch int, x []int, bucket int, eps, q float64, explore bool) {
+	if s == nil {
+		return
+	}
+	detail := "exploit"
+	if explore {
+		s.rlExplore.Inc()
+		detail = "explore"
+	}
+	s.rlQ.Set(q)
+	s.rlEps.Set(eps)
+	s.o.Event(Event{T: t, Type: EventRLAction, Session: s.id, Epoch: epoch,
+		X: append([]int(nil), x...), Bucket: bucket, Epsilon: eps, QValue: q,
+		Detail: detail})
 }
 
 // HistoryRecorded counts a tuning outcome recorded into the history

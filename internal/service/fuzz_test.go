@@ -23,6 +23,8 @@ func FuzzDecodeJobSpec(f *testing.F) {
 		`{"id": "../../etc/passwd", "bytes": 1}`,
 		"{\"id\": \"a\x00b\", \"bytes\": 1}",
 		`{"tuner": "warm:cs-tuner", "bytes": 1e9, "tenant": "t1"}`,
+		`{"tuner": "rl-q", "bytes": 1e9, "tenant": "t1"}`,
+		`{"tuner": "rl-bandit", "budget": 60, "two": true}`,
 		`{"bytes": 1e308, "epoch": 1e308, "budget": 1e308}`,
 		`{"bytes": "NaN"}`,
 		`{"np": -1, "bytes": 1}`,

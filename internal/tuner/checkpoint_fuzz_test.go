@@ -36,6 +36,15 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	f.Add([]byte(`{"version":2,"strategy":{"Phase":"bogus"}}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
+	// Learned-strategy checkpoints: a plausible rl-q state, and
+	// hostile variants — an out-of-grid bandit arm, a mis-shaped
+	// Q-table, a malformed state key, an overflowing Q-value.
+	f.Add([]byte(`{"version":2,"tuner":"rl-q","seed":7,"epochs":1,"strategy":` +
+		`{"step":1,"ctx":9,"x":[2],"pending":3,"f_max":2.5e8,` +
+		`"table":[{"key":"9|2","q":[0.5,0,0,0,0],"n":[1,0,0,0,0]}]},"trace":[{"x":[2]}]}`))
+	f.Add([]byte(`{"version":2,"tuner":"rl-bandit","epochs":1,"strategy":{"pending":64,"q":[[0]],"n":[[0]]},"trace":[{"x":[2]}]}`))
+	f.Add([]byte(`{"version":2,"tuner":"rl-bandit","epochs":1,"strategy":{"q":[[1e999]]},"trace":[{"x":[2]}]}`))
+	f.Add([]byte(`{"version":2,"tuner":"rl-q","epochs":1,"strategy":{"table":[{"key":"bogus","q":[],"n":[]}]},"trace":[{"x":[2]}]}`))
 
 	names := strategyNames()
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -13,8 +13,9 @@ import (
 func strategyNames() []string {
 	return []string{
 		"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
-		"two-phase", "warm:cs-tuner", "warm:cd-tuner",
-		"kernel-aware:cs-tuner", "warm:kernel-aware:cs-tuner",
+		"two-phase", "rl-bandit", "rl-q", "warm:cs-tuner", "warm:cd-tuner",
+		"warm:rl-q", "kernel-aware:cs-tuner", "kernel-aware:rl-q",
+		"warm:kernel-aware:cs-tuner",
 	}
 }
 

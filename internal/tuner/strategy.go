@@ -47,7 +47,8 @@ type Strategy interface {
 
 // NewStrategy builds the named strategy — one of "default",
 // "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2", "model",
-// "two-phase", "kernel-aware:<inner>", or "warm:<inner>" — from cfg.
+// "two-phase", "rl-bandit", "rl-q", "kernel-aware:<inner>", or
+// "warm:<inner>" — from cfg.
 // The prefixed and two-phase forms construct cold (no history store):
 // a checkpointed warm run resumes through this constructor by name
 // alone, taking its predicted start from the serialized state rather
@@ -77,8 +78,24 @@ func NewStrategy(name string, cfg Config) (Strategy, error) {
 		return NewModelStrategy(cfg), nil
 	case "two-phase":
 		return NewTwoPhaseStrategy(cfg), nil
+	case "rl-bandit":
+		return NewRLBandit(cfg), nil
+	case "rl-q":
+		return NewRLQ(cfg), nil
 	}
 	return nil, fmt.Errorf("tuner: unknown strategy %q", name)
+}
+
+// StrategyNames lists every base (unprefixed) strategy name NewStrategy
+// accepts, in documentation order. The "static" alias for "default" is
+// not listed. STRATEGIES.md keeps one section per name (plus the two
+// wrapper prefixes); TestStrategyDocCoverage fails when one goes
+// undocumented.
+func StrategyNames() []string {
+	return []string{
+		"default", "cd-tuner", "cs-tuner", "nm-tuner", "heur1", "heur2",
+		"model", "two-phase", "rl-bandit", "rl-q",
+	}
 }
 
 // KnownStrategy reports whether name resolves to a built-in strategy,
@@ -93,10 +110,13 @@ func KnownStrategy(name string) bool {
 		return !strings.HasPrefix(inner, "kernel-aware:") &&
 			!strings.HasPrefix(inner, "warm:") && KnownStrategy(inner)
 	}
-	switch name {
-	case "default", "static", "cd-tuner", "cs-tuner", "nm-tuner",
-		"heur1", "heur2", "model", "two-phase":
+	if name == "static" {
 		return true
+	}
+	for _, n := range StrategyNames() {
+		if name == n {
+			return true
+		}
 	}
 	return false
 }
